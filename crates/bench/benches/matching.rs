@@ -1,0 +1,57 @@
+//! Benchmarks the content-based matching index against brute force.
+
+use bdps_filter::filter::Filter;
+use bdps_filter::index::MatchIndex;
+use bdps_stats::rng::SimRng;
+use bdps_types::id::SubscriptionId;
+use bdps_types::message::MessageHead;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_index(n: usize, rng: &mut SimRng) -> MatchIndex {
+    let mut idx = MatchIndex::new();
+    for i in 0..n {
+        idx.insert(
+            SubscriptionId::new(i as u32),
+            Filter::paper_conjunction(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0)),
+        );
+    }
+    idx
+}
+
+fn heads(n: usize, rng: &mut SimRng) -> Vec<MessageHead> {
+    (0..n)
+        .map(|_| {
+            let mut h = MessageHead::new();
+            h.set("A1", rng.uniform_range(0.0, 10.0))
+                .set("A2", rng.uniform_range(0.0, 10.0));
+            h
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &n in &[160usize, 1_000, 10_000] {
+        let mut rng = SimRng::seed_from(1);
+        let idx = build_index(n, &mut rng);
+        let hs = heads(64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("counting_index", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % hs.len();
+                std::hint::black_box(idx.matching(&hs[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % hs.len();
+                std::hint::black_box(idx.matching_bruteforce(&hs[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks routing-table and subscription-table construction on the paper topology.
+
+use bdps_filter::filter::Filter;
+use bdps_filter::subscription::Subscription;
+use bdps_overlay::routing::Routing;
+use bdps_overlay::subtable::SubscriptionTable;
+use bdps_overlay::topology::Topology;
+use bdps_stats::rng::SimRng;
+use bdps_types::id::{BrokerId, SubscriptionId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::paper_topology(&mut SimRng::seed_from(3));
+    c.bench_function("routing_compute_paper_topology", |b| {
+        b.iter(|| std::hint::black_box(Routing::compute(&topo.graph)))
+    });
+
+    let routing = Routing::compute(&topo.graph);
+    let mut rng = SimRng::seed_from(4);
+    let subs: Vec<(Subscription, BrokerId)> = topo
+        .subscribers
+        .iter()
+        .enumerate()
+        .map(|(i, (s, b))| {
+            (
+                Subscription::best_effort(
+                    SubscriptionId::new(i as u32),
+                    *s,
+                    Filter::paper_conjunction(
+                        rng.uniform_range(0.0, 10.0),
+                        rng.uniform_range(0.0, 10.0),
+                    ),
+                ),
+                *b,
+            )
+        })
+        .collect();
+    c.bench_function("subscription_tables_all_brokers", |b| {
+        b.iter(|| {
+            std::hint::black_box(SubscriptionTable::build_all(&topo.graph, &routing, &subs))
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks strategy selection cost as a function of output-queue length.
+
+use bdps_core::config::{SchedulerConfig, StrategyKind};
+use bdps_core::queue::{MatchedTarget, OutputQueue, QueuedMessage};
+use bdps_overlay::pathstats::PathStats;
+use bdps_stats::normal::Normal;
+use bdps_stats::rng::SimRng;
+use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriberId, SubscriptionId};
+use bdps_types::message::Message;
+use bdps_types::money::Price;
+use bdps_types::time::{Duration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn make_queue(len: usize, targets_per_msg: usize, rng: &mut SimRng) -> OutputQueue {
+    let mut q = OutputQueue::new(BrokerId::new(1), LinkId::new(0), 75.0);
+    for i in 0..len {
+        let message = Arc::new(
+            Message::builder(MessageId::new(i as u64), PublisherId::new(0))
+                .publish_time(SimTime::ZERO)
+                .size_kb(50.0)
+                .build(),
+        );
+        let targets = (0..targets_per_msg)
+            .map(|t| MatchedTarget {
+                subscription: SubscriptionId::new(t as u32),
+                subscriber: SubscriberId::new(t as u32),
+                price: Price::from_units(1 + (t % 3) as i64),
+                allowed_delay: Duration::from_secs(10 + (t % 3) as u64 * 25),
+                stats: PathStats::from_links([
+                    &Normal::new(rng.uniform_range(50.0, 100.0), 20.0),
+                    &Normal::new(rng.uniform_range(50.0, 100.0), 20.0),
+                ]),
+            })
+            .collect();
+        q.push(QueuedMessage {
+            message,
+            targets,
+            enqueue_time: SimTime::ZERO,
+        });
+    }
+    q
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pop_next");
+    for &len in &[16usize, 64, 256] {
+        for strategy in [StrategyKind::Fifo, StrategyKind::MaxEb, StrategyKind::MaxEbpc] {
+            let cfg = SchedulerConfig::paper(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), len),
+                &len,
+                |b, &len| {
+                    let mut rng = SimRng::seed_from(5);
+                    b.iter_batched(
+                        || make_queue(len, 8, &mut rng),
+                        |mut q| std::hint::black_box(q.pop_next(SimTime::from_secs(3), &cfg)),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

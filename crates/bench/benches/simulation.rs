@@ -1,0 +1,30 @@
+//! Benchmarks end-to-end simulation throughput on a scaled-down topology.
+
+use bdps_core::config::StrategyKind;
+use bdps_overlay::topology::LayeredMeshConfig;
+use bdps_sim::runner::{run, SimulationConfig, TopologySpec};
+use bdps_sim::workload::WorkloadConfig;
+use bdps_types::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_5min_small_mesh");
+    group.sample_size(10);
+    for strategy in [StrategyKind::Fifo, StrategyKind::MaxEb, StrategyKind::MaxEbpc] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let workload =
+                    WorkloadConfig::paper_ssd(10.0).with_duration(Duration::from_secs(300));
+                let mut config = SimulationConfig::paper(strategy, workload, 11);
+                config.topology = TopologySpec::LayeredMesh(LayeredMeshConfig::small());
+                b.iter(|| std::hint::black_box(run(&config)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

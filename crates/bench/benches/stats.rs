@@ -1,0 +1,31 @@
+//! Benchmarks the statistical primitives the scheduler evaluates per message.
+
+use bdps_stats::erf::erf;
+use bdps_stats::normal::Normal;
+use bdps_stats::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stats(c: &mut Criterion) {
+    let n = Normal::new(75.0, 20.0);
+    c.bench_function("erf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.001;
+            std::hint::black_box(erf(x % 3.0))
+        })
+    });
+    c.bench_function("normal_cdf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.37;
+            std::hint::black_box(n.cdf(x % 200.0))
+        })
+    });
+    c.bench_function("normal_sample", |b| {
+        let mut rng = SimRng::seed_from(7);
+        b.iter(|| std::hint::black_box(n.sample(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! # bdps-bench
+//!
+//! The experiment harness reproducing the paper's evaluation section plus a
+//! set of Criterion micro/macro benchmarks.
+//!
+//! Each figure of the paper has a binary that regenerates its series:
+//!
+//! | Binary | Paper artefact |
+//! |--------|----------------|
+//! | `fig4` | Fig. 4(a) SSD earning vs `r`, Fig. 4(b) PSD delivery rate vs `r` |
+//! | `fig5` | Fig. 5(a) SSD earning vs rate, Fig. 5(b) SSD message number vs rate |
+//! | `fig6` | Fig. 6(a) PSD delivery rate vs rate, Fig. 6(b) PSD message number vs rate |
+//! | `show_topology` | Fig. 3 (the simulated 32-broker network) |
+//! | `ablation_epsilon` | effect of the invalid-detection threshold ε |
+//! | `ablation_estimation` | effect of bandwidth-estimation error |
+//! | `ablation_scheddelay` | multi-seed variance of the headline comparison |
+//!
+//! By default the binaries run a shortened publication period so that the
+//! whole suite finishes in minutes; pass `--full` for the paper's 2-hour runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bdps_core::config::StrategyKind;
+use bdps_sim::report::{render_markdown_table, SimulationReport};
+use bdps_sim::runner::{sweep, SweepCell};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentOptions {
+    /// Publication period in seconds (the paper uses 7200 s).
+    pub duration_secs: u64,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            duration_secs: 1_200,
+            seed: 20060816,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses `--full`, `--duration <secs>`, `--seed <n>` and `--threads <n>`
+    /// from the process arguments; anything else is ignored.
+    pub fn from_args() -> Self {
+        let mut opts = ExperimentOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.duration_secs = 7_200,
+                "--duration" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.duration_secs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.threads = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// A banner describing the run parameters.
+    pub fn banner(&self, title: &str) -> String {
+        format!(
+            "# {title}\n\npublication period: {} s (paper: 7200 s), seed: {}, threads: {}\n",
+            self.duration_secs, self.seed, self.threads
+        )
+    }
+}
+
+/// The publishing rates used on the x-axis of Figs. 5 and 6.
+pub const PAPER_RATES: [f64; 6] = [1.0, 3.0, 6.0, 9.0, 12.0, 15.0];
+
+/// The strategies compared in Figs. 5 and 6.
+pub const PAPER_STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::MaxEb,
+    StrategyKind::MaxPc,
+    StrategyKind::Fifo,
+    StrategyKind::RemainingLifetime,
+];
+
+/// Runs a set of cells and returns the reports keyed by label.
+pub fn run_cells(cells: &[SweepCell], opts: &ExperimentOptions) -> Vec<(String, SimulationReport)> {
+    sweep(cells, opts.threads)
+}
+
+/// Renders a per-strategy series table: one row per x value, one column per strategy.
+pub fn series_table(
+    x_header: &str,
+    x_values: &[String],
+    strategy_labels: &[&str],
+    value_of: impl Fn(usize, &str) -> String,
+) -> String {
+    let mut headers = vec![x_header];
+    headers.extend_from_slice(strategy_labels);
+    let rows: Vec<Vec<String>> = x_values
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![x.clone()];
+            for s in strategy_labels {
+                row.push(value_of(i, s));
+            }
+            row
+        })
+        .collect();
+    render_markdown_table(&headers, &rows)
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = ExperimentOptions::default();
+        assert!(o.duration_secs >= 600);
+        assert!(o.threads >= 1);
+        assert!(o.banner("Fig. 5").contains("Fig. 5"));
+    }
+
+    #[test]
+    fn series_table_layout() {
+        let t = series_table(
+            "rate",
+            &["3".into(), "6".into()],
+            &["EB", "FIFO"],
+            |i, s| format!("{i}-{s}"),
+        );
+        assert!(t.contains("| rate | EB | FIFO |"));
+        assert!(t.contains("| 3 | 0-EB | 0-FIFO |"));
+        assert!(t.contains("| 6 | 1-EB | 1-FIFO |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(PAPER_RATES.len(), 6);
+        assert_eq!(PAPER_STRATEGIES.len(), 4);
+    }
+}

@@ -1,0 +1,546 @@
+//! The broker state machine.
+//!
+//! A broker (Fig. 2) receives messages, matches them against its subscription
+//! table, delivers matches to locally attached subscribers, and places one
+//! copy per relevant downstream neighbour into that neighbour's output queue.
+//! Whenever a link becomes free the broker asks the corresponding queue for
+//! the next message under the configured scheduling strategy, after purging
+//! expired and unlikely messages (§5.4).
+//!
+//! The broker is a pure state machine: it never advances time and never
+//! performs I/O. The discrete-event simulator (and any real transport layer)
+//! drives it by calling [`BrokerState::handle_arrival`] and
+//! [`BrokerState::next_to_send`].
+
+use crate::config::SchedulerConfig;
+use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
+use bdps_overlay::graph::OverlayGraph;
+use bdps_overlay::subtable::SubscriptionTable;
+use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
+use bdps_types::message::Message;
+use bdps_types::money::Price;
+use bdps_types::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A delivery to a subscriber attached to this broker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDelivery {
+    /// The subscription that matched.
+    pub subscription: SubscriptionId,
+    /// The subscriber that owns it.
+    pub subscriber: SubscriberId,
+    /// The price this delivery earns if it is on time.
+    pub price: Price,
+    /// End-to-end delay experienced by the message.
+    pub delay: Duration,
+    /// The effective allowed delay for this (message, subscription) pair.
+    pub allowed_delay: Duration,
+    /// Whether the delivery met its bound (`delay ≤ allowed_delay`).
+    pub on_time: bool,
+}
+
+/// The outcome of processing one arriving message.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalOutcome {
+    /// Deliveries to local subscribers.
+    pub local: Vec<LocalDelivery>,
+    /// Neighbours for which a copy was enqueued.
+    pub enqueued_to: Vec<BrokerId>,
+}
+
+/// The outcome of asking a queue for its next transmission.
+#[derive(Debug, Clone, Default)]
+pub struct NextSend {
+    /// The message to transmit, if any survived purging.
+    pub message: Option<QueuedMessage>,
+    /// Messages dropped by the invalid-message detection while selecting.
+    pub dropped: Vec<DropRecord>,
+}
+
+/// Per-broker counters; `received` across all brokers is the paper's
+/// "message number" traffic metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerCounters {
+    /// Messages received (from publishers or upstream brokers).
+    pub received: u64,
+    /// Copies enqueued towards downstream neighbours.
+    pub enqueued: u64,
+    /// Copies handed to the link layer for transmission.
+    pub sent: u64,
+    /// Copies dropped because every target had expired.
+    pub dropped_expired: u64,
+    /// Copies dropped because no target had a success probability ≥ ε.
+    pub dropped_unlikely: u64,
+    /// Local deliveries that met their deadline.
+    pub delivered_on_time: u64,
+    /// Local deliveries that missed their deadline.
+    pub delivered_late: u64,
+}
+
+/// The state of one broker.
+#[derive(Debug, Clone)]
+pub struct BrokerState {
+    /// The broker's identifier.
+    pub id: BrokerId,
+    /// The broker's counters.
+    pub counters: BrokerCounters,
+    table: SubscriptionTable,
+    queues: HashMap<BrokerId, OutputQueue>,
+    config: SchedulerConfig,
+}
+
+impl BrokerState {
+    /// Creates a broker with explicit outgoing links
+    /// (`(neighbour, link, mean ms/KB rate)`).
+    pub fn new(
+        id: BrokerId,
+        table: SubscriptionTable,
+        outgoing: impl IntoIterator<Item = (BrokerId, LinkId, f64)>,
+        config: SchedulerConfig,
+    ) -> Self {
+        let queues = outgoing
+            .into_iter()
+            .map(|(nb, link, rate)| (nb, OutputQueue::new(nb, link, rate)))
+            .collect();
+        BrokerState {
+            id,
+            counters: BrokerCounters::default(),
+            table,
+            queues,
+            config,
+        }
+    }
+
+    /// Creates a broker from the overlay graph: one output queue per outgoing
+    /// link, using each link's estimated mean rate for the `FT` estimate.
+    pub fn from_overlay(
+        graph: &OverlayGraph,
+        id: BrokerId,
+        table: SubscriptionTable,
+        config: SchedulerConfig,
+    ) -> Self {
+        let outgoing: Vec<(BrokerId, LinkId, f64)> = graph
+            .outgoing(id)
+            .map(|l| (l.to, l.id, l.quality.rate_distribution().mean()))
+            .collect();
+        BrokerState::new(id, table, outgoing, config)
+    }
+
+    /// The broker's scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The broker's subscription table.
+    pub fn table(&self) -> &SubscriptionTable {
+        &self.table
+    }
+
+    /// The downstream neighbours this broker can forward to.
+    pub fn neighbors(&self) -> Vec<BrokerId> {
+        let mut ns: Vec<BrokerId> = self.queues.keys().copied().collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// The output queue towards a neighbour.
+    pub fn queue(&self, neighbor: BrokerId) -> Option<&OutputQueue> {
+        self.queues.get(&neighbor)
+    }
+
+    /// Total number of queued message copies across all output queues.
+    pub fn queued_total(&self) -> usize {
+        self.queues.values().map(OutputQueue::len).sum()
+    }
+
+    /// Processes an arriving message: local deliveries plus enqueueing one
+    /// copy per relevant downstream neighbour. `now` is the time at which the
+    /// processing module finishes (i.e. arrival time plus `PD`).
+    pub fn handle_arrival(&mut self, message: Arc<Message>, now: SimTime) -> ArrivalOutcome {
+        self.handle_arrival_scoped(message, now, None)
+    }
+
+    /// Like [`handle_arrival`](Self::handle_arrival), but restricted to the
+    /// given subscriptions.
+    ///
+    /// Under the paper's single-path routing a message copy forwarded to a
+    /// neighbour is responsible for exactly the subscriptions the upstream
+    /// broker grouped onto that neighbour; the copy therefore carries that
+    /// subscription set and the receiving broker must not re-expand it (doing
+    /// so would create duplicate deliveries along alternative mesh paths).
+    /// `scope = None` means "all matching subscriptions" and is used at the
+    /// broker the publisher is attached to.
+    pub fn handle_arrival_scoped(
+        &mut self,
+        message: Arc<Message>,
+        now: SimTime,
+        scope: Option<&[SubscriptionId]>,
+    ) -> ArrivalOutcome {
+        self.counters.received += 1;
+        let mut outcome = ArrivalOutcome::default();
+        let (mut local, mut remote) = self.table.matching_by_next_hop(&message.head);
+        if let Some(allowed) = scope {
+            local.retain(|e| allowed.contains(&e.subscription.id));
+            for entries in remote.values_mut() {
+                entries.retain(|e| allowed.contains(&e.subscription.id));
+            }
+            remote.retain(|_, entries| !entries.is_empty());
+        }
+
+        for entry in local {
+            let allowed_delay = effective_allowed_delay(&message, entry.subscription.allowed_delay());
+            let delay = message.elapsed(now);
+            let on_time = delay <= allowed_delay;
+            if on_time {
+                self.counters.delivered_on_time += 1;
+            } else {
+                self.counters.delivered_late += 1;
+            }
+            outcome.local.push(LocalDelivery {
+                subscription: entry.subscription.id,
+                subscriber: entry.subscription.subscriber,
+                price: entry.subscription.price,
+                delay,
+                allowed_delay,
+                on_time,
+            });
+        }
+
+        for (neighbor, entries) in remote {
+            let Some(queue) = self.queues.get_mut(&neighbor) else {
+                // Routing pointed at a neighbour we have no link to; this
+                // indicates an inconsistent setup and is simply skipped.
+                continue;
+            };
+            let targets: Vec<MatchedTarget> = entries
+                .iter()
+                .map(|e| MatchedTarget {
+                    subscription: e.subscription.id,
+                    subscriber: e.subscription.subscriber,
+                    price: e.subscription.price,
+                    allowed_delay: effective_allowed_delay(
+                        &message,
+                        e.subscription.allowed_delay(),
+                    ),
+                    stats: e.stats,
+                })
+                .collect();
+            queue.push(QueuedMessage {
+                message: Arc::clone(&message),
+                targets,
+                enqueue_time: now,
+            });
+            self.counters.enqueued += 1;
+            outcome.enqueued_to.push(neighbor);
+        }
+        outcome.enqueued_to.sort_unstable();
+        outcome
+    }
+
+    /// Chooses the next message to transmit towards `neighbor`, applying the
+    /// invalid-message detection first.
+    pub fn next_to_send(&mut self, neighbor: BrokerId, now: SimTime) -> NextSend {
+        let Some(queue) = self.queues.get_mut(&neighbor) else {
+            return NextSend::default();
+        };
+        let dropped = queue.purge(now, &self.config);
+        for d in &dropped {
+            match d.reason {
+                DropReason::Expired => self.counters.dropped_expired += 1,
+                DropReason::Unlikely => self.counters.dropped_unlikely += 1,
+            }
+        }
+        let message = queue.pop_next(now, &self.config);
+        if message.is_some() {
+            self.counters.sent += 1;
+        }
+        NextSend { message, dropped }
+    }
+
+    /// Returns true when the queue towards `neighbor` holds at least one message.
+    pub fn has_pending(&self, neighbor: BrokerId) -> bool {
+        self.queues
+            .get(&neighbor)
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// The effective allowed delay of a (message, subscription) pair: the tighter
+/// of the publisher-specified and the subscriber-specified bound.
+fn effective_allowed_delay(message: &Message, subscription_allowed: Duration) -> Duration {
+    match message.publisher_bound {
+        Some(b) => b.duration().min(subscription_allowed),
+        None => subscription_allowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InvalidDetection, StrategyKind};
+    use bdps_filter::filter::Filter;
+    use bdps_filter::subscription::Subscription;
+    use bdps_net::bandwidth::FixedRate;
+    use bdps_net::link::LinkQuality;
+    use bdps_overlay::routing::Routing;
+    use bdps_overlay::topology::Topology;
+    use bdps_stats::rng::SimRng;
+    use bdps_types::id::{MessageId, PublisherId};
+    use bdps_types::qos::{DelayBound, QosClass};
+
+    fn fixed_quality(_rng: &mut SimRng) -> LinkQuality {
+        LinkQuality::new(FixedRate::new(60.0))
+    }
+
+    /// Line B0 - B1 - B2; subscriber S0 on B2 (10 s, price 3), S1 on B1
+    /// (best effort), S2 on B0 (30 s, price 2).
+    struct Setup {
+        topo: Topology,
+        routing: Routing,
+        subs: Vec<(Subscription, BrokerId)>,
+    }
+
+    fn setup() -> Setup {
+        let mut rng = SimRng::seed_from(1);
+        let mut topo = Topology::line(3, &mut rng, fixed_quality);
+        topo.graph.attach_subscriber(BrokerId::new(2), SubscriberId::new(0));
+        topo.graph.attach_subscriber(BrokerId::new(1), SubscriberId::new(1));
+        topo.graph.attach_subscriber(BrokerId::new(0), SubscriberId::new(2));
+        let routing = Routing::compute(&topo.graph);
+        let subs = vec![
+            (
+                Subscription::with_qos(
+                    SubscriptionId::new(0),
+                    SubscriberId::new(0),
+                    Filter::paper_conjunction(5.0, 5.0),
+                    QosClass::new(DelayBound::from_secs(10), Price::from_units(3)),
+                ),
+                BrokerId::new(2),
+            ),
+            (
+                Subscription::best_effort(
+                    SubscriptionId::new(1),
+                    SubscriberId::new(1),
+                    Filter::paper_conjunction(9.0, 9.0),
+                ),
+                BrokerId::new(1),
+            ),
+            (
+                Subscription::with_qos(
+                    SubscriptionId::new(2),
+                    SubscriberId::new(2),
+                    Filter::paper_conjunction(8.0, 8.0),
+                    QosClass::new(DelayBound::from_secs(30), Price::from_units(2)),
+                ),
+                BrokerId::new(0),
+            ),
+        ];
+        Setup {
+            topo,
+            routing,
+            subs,
+        }
+    }
+
+    fn broker(setup: &Setup, id: u32, strategy: StrategyKind) -> BrokerState {
+        let id = BrokerId::new(id);
+        let table = SubscriptionTable::build(id, &setup.routing, &setup.subs);
+        BrokerState::from_overlay(
+            &setup.topo.graph,
+            id,
+            table,
+            SchedulerConfig::paper(strategy),
+        )
+    }
+
+    fn msg(id: u64, a1: f64, a2: f64, publish_secs: u64) -> Arc<Message> {
+        Arc::new(
+            Message::builder(MessageId::new(id), PublisherId::new(0))
+                .publish_time(SimTime::from_secs(publish_secs))
+                .size_kb(50.0)
+                .attr("A1", a1)
+                .attr("A2", a2)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn arrival_delivers_locally_and_enqueues_downstream() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        let outcome = b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2));
+        // Local subscriber S2 matches (filter 8,8); on time.
+        assert_eq!(outcome.local.len(), 1);
+        assert_eq!(outcome.local[0].subscriber, SubscriberId::new(2));
+        assert!(outcome.local[0].on_time);
+        // Downstream: S0 and S1 both reached via B1 -> exactly one copy enqueued.
+        assert_eq!(outcome.enqueued_to, vec![BrokerId::new(1)]);
+        assert_eq!(b0.queued_total(), 1);
+        assert_eq!(b0.counters.received, 1);
+        assert_eq!(b0.counters.enqueued, 1);
+        assert_eq!(b0.counters.delivered_on_time, 1);
+        let q = b0.queue(BrokerId::new(1)).unwrap();
+        assert_eq!(q.items()[0].targets.len(), 2);
+    }
+
+    #[test]
+    fn non_matching_message_goes_nowhere() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        let outcome = b0.handle_arrival(msg(1, 9.5, 9.5, 0), SimTime::from_millis(2));
+        assert!(outcome.local.is_empty());
+        assert!(outcome.enqueued_to.is_empty());
+        assert_eq!(b0.counters.received, 1);
+        assert_eq!(b0.queued_total(), 0);
+    }
+
+    #[test]
+    fn late_local_delivery_is_flagged() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        // Message published 40 s ago; S2's bound is 30 s.
+        let outcome = b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_secs(40));
+        assert_eq!(outcome.local.len(), 1);
+        assert!(!outcome.local[0].on_time);
+        assert_eq!(b0.counters.delivered_late, 1);
+    }
+
+    #[test]
+    fn effective_deadline_takes_publisher_bound_into_account() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        let m = Arc::new(
+            Message::builder(MessageId::new(9), PublisherId::new(0))
+                .publish_time(SimTime::ZERO)
+                .publisher_bound(DelayBound::from_secs(5))
+                .attr("A1", 1.0)
+                .attr("A2", 1.0)
+                .build(),
+        );
+        let outcome = b0.handle_arrival(m, SimTime::from_millis(2));
+        // Local S2 allowed delay is min(5 s, 30 s) = 5 s.
+        assert_eq!(outcome.local[0].allowed_delay, Duration::from_secs(5));
+        // Remote targets carry the same effective bound.
+        let q = b0.queue(BrokerId::new(1)).unwrap();
+        for t in &q.items()[0].targets {
+            assert!(t.allowed_delay <= Duration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn next_to_send_sends_and_counts() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2));
+        b0.handle_arrival(msg(2, 2.0, 2.0, 0), SimTime::from_millis(4));
+        assert!(b0.has_pending(BrokerId::new(1)));
+        let send = b0.next_to_send(BrokerId::new(1), SimTime::from_millis(10));
+        assert!(send.message.is_some());
+        assert!(send.dropped.is_empty());
+        assert_eq!(b0.counters.sent, 1);
+        let send2 = b0.next_to_send(BrokerId::new(1), SimTime::from_millis(12));
+        assert!(send2.message.is_some());
+        assert!(!b0.has_pending(BrokerId::new(1)));
+        let send3 = b0.next_to_send(BrokerId::new(1), SimTime::from_millis(14));
+        assert!(send3.message.is_none());
+        // Unknown neighbour: graceful empty result.
+        let nothing = b0.next_to_send(BrokerId::new(9), SimTime::from_millis(14));
+        assert!(nothing.message.is_none());
+    }
+
+    #[test]
+    fn expired_messages_are_dropped_not_sent() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2));
+        // S0's bound is 10 s and S1 is best-effort, so the queued copy keeps a
+        // live target even after a minute; force expiry via a publisher bound.
+        let m = Arc::new(
+            Message::builder(MessageId::new(2), PublisherId::new(0))
+                .publish_time(SimTime::ZERO)
+                .publisher_bound(DelayBound::from_secs(5))
+                .attr("A1", 1.0)
+                .attr("A2", 1.0)
+                .build(),
+        );
+        b0.handle_arrival(m, SimTime::from_millis(4));
+        let send = b0.next_to_send(BrokerId::new(1), SimTime::from_secs(60));
+        // The publisher-bounded copy is dropped as expired; the other one
+        // still has the best-effort target so it is transmitted.
+        assert_eq!(send.dropped.len(), 1);
+        assert_eq!(send.dropped[0].reason, DropReason::Expired);
+        assert_eq!(send.message.as_ref().unwrap().message.id, MessageId::new(1));
+        assert_eq!(b0.counters.dropped_expired, 1);
+    }
+
+    #[test]
+    fn unlikely_messages_are_dropped_under_epsilon_policy() {
+        let s = setup();
+        // Broker B0 with only the 10 s / price-3 subscription (S0, attached to
+        // B2, two hops away). A 50 KB message needs ~6 s on average over the
+        // two 60 ms/KB hops, so with only 1 s of budget left the success
+        // probability is far below epsilon — but the message is not expired.
+        let only_s0 = vec![s.subs[0].clone()];
+        let table = SubscriptionTable::build(BrokerId::new(0), &s.routing, &only_s0);
+        let mut b0 = BrokerState::from_overlay(
+            &s.topo.graph,
+            BrokerId::new(0),
+            table.clone(),
+            SchedulerConfig::paper(StrategyKind::MaxEb),
+        );
+        let arrived = b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_secs(9));
+        assert_eq!(arrived.enqueued_to, vec![BrokerId::new(1)]);
+        let decision = b0.next_to_send(BrokerId::new(1), SimTime::from_secs(9));
+        assert!(decision.message.is_none());
+        assert_eq!(decision.dropped.len(), 1);
+        assert_eq!(decision.dropped[0].reason, DropReason::Unlikely);
+        assert_eq!(b0.counters.dropped_unlikely, 1);
+
+        // With detection off the same message is transmitted anyway.
+        let mut b0_off = BrokerState::from_overlay(
+            &s.topo.graph,
+            BrokerId::new(0),
+            table,
+            SchedulerConfig::paper(StrategyKind::MaxEb)
+                .with_invalid_detection(InvalidDetection::Off),
+        );
+        b0_off.handle_arrival(msg(2, 1.0, 1.0, 0), SimTime::from_secs(9));
+        let decision = b0_off.next_to_send(BrokerId::new(1), SimTime::from_secs(9));
+        assert!(decision.message.is_some());
+    }
+
+    #[test]
+    fn scoped_arrival_restricts_matching() {
+        let s = setup();
+        // Broker B1 sees all three subscriptions; scope the arrival to S0 only.
+        let mut b1 = broker(&s, 1, StrategyKind::MaxEb);
+        let outcome = b1.handle_arrival_scoped(
+            msg(1, 1.0, 1.0, 0),
+            SimTime::from_millis(2),
+            Some(&[SubscriptionId::new(0)]),
+        );
+        // S1 is local to B1 but out of scope: no local delivery.
+        assert!(outcome.local.is_empty());
+        // Only the copy towards B2 (for S0) is enqueued; nothing goes to B0.
+        assert_eq!(outcome.enqueued_to, vec![BrokerId::new(2)]);
+        let q = b1.queue(BrokerId::new(2)).unwrap();
+        assert_eq!(q.items()[0].targets.len(), 1);
+        assert_eq!(q.items()[0].targets[0].subscription, SubscriptionId::new(0));
+        // An empty scope produces no work at all.
+        let outcome = b1.handle_arrival_scoped(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4), Some(&[]));
+        assert!(outcome.local.is_empty());
+        assert!(outcome.enqueued_to.is_empty());
+    }
+
+    #[test]
+    fn neighbors_come_from_the_overlay() {
+        let s = setup();
+        let b1 = broker(&s, 1, StrategyKind::Fifo);
+        assert_eq!(b1.neighbors(), vec![BrokerId::new(0), BrokerId::new(2)]);
+        assert_eq!(b1.config().strategy, StrategyKind::Fifo);
+        assert_eq!(b1.table().len(), 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! # bdps-core
+//!
+//! The paper's primary contribution: message scheduling strategies that let a
+//! content-based publish/subscribe overlay deliver as many messages as
+//! possible within publisher- or subscriber-specified delay bounds, without
+//! inflating network traffic.
+//!
+//! * [`config`] — scheduler configuration: strategy choice, the EBPC weight
+//!   `r`, the invalid-message detection policy (ε), the per-broker processing
+//!   delay `PD` and the average message size used for the `FT` estimate;
+//! * [`metrics`] — the success probability (eq. 5), Expected Benefit
+//!   (eq. 3), delayed Expected Benefit `EB'` (eq. 8), Postponing Cost
+//!   (eq. 9) and EBPC (eq. 10) computations;
+//! * [`queue`] — per-neighbour output queues of [`QueuedMessage`]s with
+//!   strategy-driven selection and expired/unlikely-message purging
+//!   (eq. 11);
+//! * [`strategy`] — the five scheduling strategies evaluated by the paper:
+//!   FIFO, minimum Remaining Lifetime first, maximum EB first, maximum PC
+//!   first and maximum EBPC first;
+//! * [`broker`] — the broker state machine of Fig. 2: matching arrivals
+//!   against the subscription table, local delivery, enqueueing to
+//!   downstream neighbours and choosing what to send when a link frees up;
+//! * [`objective`] — the system objectives: delivery rate (eq. 1) for the
+//!   PSD scenario and total earning (eq. 2) for the SSD scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod config;
+pub mod metrics;
+pub mod objective;
+pub mod queue;
+pub mod strategy;
+
+pub use broker::{ArrivalOutcome, BrokerCounters, BrokerState, LocalDelivery, NextSend};
+pub use config::{InvalidDetection, SchedulerConfig, StrategyKind};
+pub use metrics::{
+    expected_benefit, expected_benefit_delayed, max_success_probability, postponing_cost,
+    success_probability,
+};
+pub use objective::ObjectiveTracker;
+pub use queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
+pub use strategy::ScheduleContext;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::broker::{ArrivalOutcome, BrokerCounters, BrokerState, LocalDelivery, NextSend};
+    pub use crate::config::{InvalidDetection, SchedulerConfig, StrategyKind};
+    pub use crate::objective::ObjectiveTracker;
+    pub use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
+    pub use crate::strategy::ScheduleContext;
+}

@@ -1,0 +1,305 @@
+//! The paper's scheduling metrics (§5).
+//!
+//! All metrics are computed for a message `m` waiting in an output queue of a
+//! broker `N`, against the set of matching subscriptions reachable through
+//! that queue:
+//!
+//! * `success(s_i, m) = P(hdl(m) + fdl(s_i, m) ≤ adl(s_i))` — eq. (5), where
+//!   `hdl` is the delay already accumulated, `fdl = NN_p·PD + size·TR_p` the
+//!   (scheduling-delay-free) future delay (eq. 4) and `adl` the allowed delay;
+//! * `EB_m = Σ success(s_i, m) · price(s_i)` — eq. (3);
+//! * `EB'_m` — the same with `fdl' = fdl + FT` (eq. 6–8), i.e. assuming the
+//!   current broker sends the message *second*;
+//! * `PC_m = EB_m − EB'_m` — eq. (9);
+//! * `EBPC_m = r·EB_m + (1−r)·PC_m` — eq. (10).
+
+use crate::queue::MatchedTarget;
+use bdps_types::message::Message;
+use bdps_types::time::{Duration, SimTime};
+
+/// The probability that `message` reaches the target's subscriber within its
+/// allowed delay, assuming every remaining broker sends it first (eq. 5).
+pub fn success_probability(
+    message: &Message,
+    target: &MatchedTarget,
+    now: SimTime,
+    processing_delay: Duration,
+) -> f64 {
+    success_probability_with_extra_delay(message, target, now, processing_delay, 0.0)
+}
+
+/// Like [`success_probability`] but with `extra_delay_ms` added to the future
+/// delay — used for the `EB'` computation where the extra delay is the
+/// first-send estimate `FT` (eq. 6–7).
+pub fn success_probability_with_extra_delay(
+    message: &Message,
+    target: &MatchedTarget,
+    now: SimTime,
+    processing_delay: Duration,
+    extra_delay_ms: f64,
+) -> f64 {
+    if target.allowed_delay == Duration::MAX {
+        return 1.0;
+    }
+    let elapsed = message.elapsed(now);
+    if elapsed > target.allowed_delay {
+        return 0.0;
+    }
+    let budget_ms = (target.allowed_delay - elapsed).as_millis_f64() - extra_delay_ms;
+    if budget_ms <= 0.0 {
+        return 0.0;
+    }
+    target
+        .stats
+        .future_delay_ms(message.size_kb, processing_delay)
+        .cdf(budget_ms)
+}
+
+/// The Expected Benefit of sending the message first (eq. 3).
+pub fn expected_benefit(
+    message: &Message,
+    targets: &[MatchedTarget],
+    now: SimTime,
+    processing_delay: Duration,
+) -> f64 {
+    targets
+        .iter()
+        .map(|t| success_probability(message, t, now, processing_delay) * t.price.as_f64())
+        .sum()
+}
+
+/// The Expected Benefit of sending the message *second* on the current broker
+/// (eq. 8), where `first_send_estimate_ms` is the paper's `FT`.
+pub fn expected_benefit_delayed(
+    message: &Message,
+    targets: &[MatchedTarget],
+    now: SimTime,
+    processing_delay: Duration,
+    first_send_estimate_ms: f64,
+) -> f64 {
+    targets
+        .iter()
+        .map(|t| {
+            success_probability_with_extra_delay(
+                message,
+                t,
+                now,
+                processing_delay,
+                first_send_estimate_ms,
+            ) * t.price.as_f64()
+        })
+        .sum()
+}
+
+/// The Postponing Cost `PC = EB − EB'` (eq. 9).
+pub fn postponing_cost(
+    message: &Message,
+    targets: &[MatchedTarget],
+    now: SimTime,
+    processing_delay: Duration,
+    first_send_estimate_ms: f64,
+) -> f64 {
+    expected_benefit(message, targets, now, processing_delay)
+        - expected_benefit_delayed(
+            message,
+            targets,
+            now,
+            processing_delay,
+            first_send_estimate_ms,
+        )
+}
+
+/// The combined metric `EBPC = r·EB + (1−r)·PC` (eq. 10).
+pub fn ebpc(
+    message: &Message,
+    targets: &[MatchedTarget],
+    now: SimTime,
+    processing_delay: Duration,
+    first_send_estimate_ms: f64,
+    r: f64,
+) -> f64 {
+    let eb = expected_benefit(message, targets, now, processing_delay);
+    let eb_delayed = expected_benefit_delayed(
+        message,
+        targets,
+        now,
+        processing_delay,
+        first_send_estimate_ms,
+    );
+    let pc = eb - eb_delayed;
+    r * eb + (1.0 - r) * pc
+}
+
+/// The best success probability across all targets — the quantity compared to
+/// ε in the invalid-message test (eq. 11): the message is deleted when even
+/// its *most promising* target is below ε.
+pub fn max_success_probability(
+    message: &Message,
+    targets: &[MatchedTarget],
+    now: SimTime,
+    processing_delay: Duration,
+) -> f64 {
+    targets
+        .iter()
+        .map(|t| success_probability(message, t, now, processing_delay))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdps_overlay::pathstats::PathStats;
+    use bdps_stats::normal::Normal;
+    use bdps_types::id::{MessageId, PublisherId, SubscriberId, SubscriptionId};
+    use bdps_types::money::Price;
+    use std::sync::Arc;
+
+    const PD: Duration = Duration::from_millis(2);
+
+    fn msg(publish_secs: u64) -> Arc<Message> {
+        Arc::new(
+            Message::builder(MessageId::new(1), PublisherId::new(0))
+                .publish_time(SimTime::from_secs(publish_secs))
+                .size_kb(50.0)
+                .build(),
+        )
+    }
+
+    fn target(allowed_secs: u64, price: i64, hops: u32, rate: f64) -> MatchedTarget {
+        let mut stats = PathStats::local();
+        for _ in 0..hops {
+            stats = stats.extend(Normal::new(rate, 20.0));
+        }
+        MatchedTarget {
+            subscription: SubscriptionId::new(0),
+            subscriber: SubscriberId::new(0),
+            price: Price::from_units(price),
+            allowed_delay: Duration::from_secs(allowed_secs),
+            stats,
+        }
+    }
+
+    #[test]
+    fn success_probability_reference_point() {
+        // 1 hop at mean 60 ms/KB, sigma 20: a 50 KB message has mean 3000 ms,
+        // sigma 1000 ms (+2 ms PD). A 3002 ms budget sits exactly at the mean.
+        let m = msg(0);
+        let t = MatchedTarget {
+            allowed_delay: Duration::from_millis(3_002),
+            ..target(10, 1, 1, 60.0)
+        };
+        let p = success_probability(&m, &t, SimTime::ZERO, PD);
+        assert!((p - 0.5).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn success_decreases_as_time_passes() {
+        let m = msg(0);
+        let t = target(10, 1, 2, 60.0);
+        let early = success_probability(&m, &t, SimTime::from_secs(1), PD);
+        let late = success_probability(&m, &t, SimTime::from_secs(6), PD);
+        assert!(early > late);
+        // After the deadline the probability is exactly zero.
+        assert_eq!(
+            success_probability(&m, &t, SimTime::from_secs(11), PD),
+            0.0
+        );
+    }
+
+    #[test]
+    fn unbounded_target_always_succeeds() {
+        let m = msg(0);
+        let t = MatchedTarget {
+            allowed_delay: Duration::MAX,
+            ..target(10, 1, 2, 60.0)
+        };
+        assert_eq!(success_probability(&m, &t, SimTime::from_secs(500), PD), 1.0);
+    }
+
+    #[test]
+    fn expected_benefit_sums_price_weighted_probabilities() {
+        let m = msg(0);
+        // A target that (almost) surely succeeds and one that surely fails.
+        let sure = target(600, 3, 1, 60.0);
+        let hopeless = MatchedTarget {
+            allowed_delay: Duration::from_millis(10),
+            ..target(1, 2, 4, 90.0)
+        };
+        let eb = expected_benefit(&m, &[sure.clone(), hopeless.clone()], SimTime::ZERO, PD);
+        assert!((eb - 3.0).abs() < 1e-3, "eb = {eb}");
+        // EB scales with price.
+        let pricier = MatchedTarget {
+            price: Price::from_units(6),
+            ..sure
+        };
+        let eb2 = expected_benefit(&m, &[pricier], SimTime::ZERO, PD);
+        assert!((eb2 - 6.0).abs() < 2e-3);
+        assert_eq!(expected_benefit(&m, &[], SimTime::ZERO, PD), 0.0);
+    }
+
+    #[test]
+    fn postponing_cost_is_nonnegative_and_higher_for_urgent_messages() {
+        let m = msg(0);
+        let ft = 50.0 * 75.0; // FT: 50 KB at 75 ms/KB
+        // Urgent: the deadline barely fits the path.
+        let urgent = target(4, 1, 1, 60.0);
+        // Relaxed: plenty of slack.
+        let relaxed = target(60, 1, 1, 60.0);
+        let pc_urgent = postponing_cost(&m, &[urgent], SimTime::ZERO, PD, ft);
+        let pc_relaxed = postponing_cost(&m, &[relaxed], SimTime::ZERO, PD, ft);
+        assert!(pc_urgent >= 0.0);
+        assert!(pc_relaxed >= 0.0);
+        assert!(
+            pc_urgent > pc_relaxed,
+            "urgent {pc_urgent} vs relaxed {pc_relaxed}"
+        );
+        // Postponing an already-hopeless message costs nothing.
+        let hopeless = MatchedTarget {
+            allowed_delay: Duration::from_millis(1),
+            ..target(1, 1, 3, 90.0)
+        };
+        let pc_hopeless = postponing_cost(&m, &[hopeless], SimTime::ZERO, PD, ft);
+        assert!(pc_hopeless.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ebpc_interpolates_between_pc_and_eb() {
+        let m = msg(0);
+        let ft = 3_750.0;
+        let targets = vec![target(15, 2, 2, 60.0), target(30, 1, 1, 60.0)];
+        let eb = expected_benefit(&m, &targets, SimTime::ZERO, PD);
+        let pc = postponing_cost(&m, &targets, SimTime::ZERO, PD, ft);
+        let at_zero = ebpc(&m, &targets, SimTime::ZERO, PD, ft, 0.0);
+        let at_one = ebpc(&m, &targets, SimTime::ZERO, PD, ft, 1.0);
+        let mid = ebpc(&m, &targets, SimTime::ZERO, PD, ft, 0.5);
+        assert!((at_zero - pc).abs() < 1e-12);
+        assert!((at_one - eb).abs() < 1e-12);
+        assert!((mid - 0.5 * (eb + pc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_success_probability_is_the_epsilon_test_quantity() {
+        let m = msg(0);
+        let good = target(60, 1, 1, 60.0);
+        let bad = MatchedTarget {
+            allowed_delay: Duration::from_millis(5),
+            ..target(1, 1, 3, 90.0)
+        };
+        let p = max_success_probability(&m, &[bad.clone(), good], SimTime::ZERO, PD);
+        assert!(p > 0.99);
+        let only_bad = max_success_probability(&m, &[bad], SimTime::ZERO, PD);
+        assert!(only_bad < 5e-4, "only_bad = {only_bad}");
+        assert_eq!(max_success_probability(&m, &[], SimTime::ZERO, PD), 0.0);
+    }
+
+    #[test]
+    fn delayed_benefit_never_exceeds_immediate_benefit() {
+        let m = msg(0);
+        for allowed in [3u64, 5, 10, 30, 60] {
+            let t = vec![target(allowed, 2, 2, 75.0)];
+            let eb = expected_benefit(&m, &t, SimTime::ZERO, PD);
+            let ebd = expected_benefit_delayed(&m, &t, SimTime::ZERO, PD, 3_750.0);
+            assert!(ebd <= eb + 1e-12, "allowed {allowed}: {ebd} > {eb}");
+        }
+    }
+}

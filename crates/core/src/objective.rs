@@ -1,0 +1,273 @@
+//! System objectives: delivery rate and total earning (§4.1).
+//!
+//! * **Delivery rate** (PSD): `Σ ds_i / Σ ts_i` over published messages,
+//!   where `ts_i` is the number of subscribers interested in message `i` and
+//!   `ds_i` the number that received it before the deadline (eq. 1).
+//! * **Total earning** (SSD): `Σ price(s_i) · msg(s_i)` over subscribers,
+//!   where `msg(s_i)` counts valid (on-time) deliveries (eq. 2).
+//!
+//! The tracker computes both at once so that any scenario can report either.
+
+use bdps_types::id::{MessageId, SubscriberId};
+use bdps_types::money::{Earning, Price};
+use bdps_types::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-message delivery bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct MessageStat {
+    interested: u32,
+    delivered_on_time: u32,
+    delivered_late: u32,
+}
+
+/// Tracks the paper's objective functions over a run.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectiveTracker {
+    messages: HashMap<MessageId, MessageStat>,
+    per_subscriber_valid: HashMap<SubscriberId, u64>,
+    total_earning: Earning,
+    delay_sum_ms: f64,
+    delay_count: u64,
+}
+
+impl ObjectiveTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a published message together with the number of subscribers
+    /// interested in it (`ts_i`), evaluated against the global subscription
+    /// population at publication time.
+    pub fn register_message(&mut self, id: MessageId, interested: u32) {
+        self.messages.entry(id).or_default().interested = interested;
+    }
+
+    /// Records a delivery attempt that reached the subscriber.
+    pub fn record_delivery(
+        &mut self,
+        message: MessageId,
+        subscriber: SubscriberId,
+        price: Price,
+        delay: Duration,
+        on_time: bool,
+    ) {
+        let stat = self.messages.entry(message).or_default();
+        if on_time {
+            stat.delivered_on_time += 1;
+            *self.per_subscriber_valid.entry(subscriber).or_insert(0) += 1;
+            self.total_earning.credit(price);
+            self.delay_sum_ms += delay.as_millis_f64();
+            self.delay_count += 1;
+        } else {
+            stat.delivered_late += 1;
+        }
+    }
+
+    /// Number of registered (published) messages.
+    pub fn published_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total interested (message, subscriber) pairs — `Σ ts_i`.
+    pub fn total_interested(&self) -> u64 {
+        self.messages.values().map(|m| m.interested as u64).sum()
+    }
+
+    /// Total on-time deliveries — `Σ ds_i`.
+    pub fn total_on_time(&self) -> u64 {
+        self.messages
+            .values()
+            .map(|m| m.delivered_on_time as u64)
+            .sum()
+    }
+
+    /// Total deliveries that arrived after their deadline.
+    pub fn total_late(&self) -> u64 {
+        self.messages
+            .values()
+            .map(|m| m.delivered_late as u64)
+            .sum()
+    }
+
+    /// The delivery rate of eq. (1), in `[0, 1]`; zero when nothing was published.
+    pub fn delivery_rate(&self) -> f64 {
+        let interested = self.total_interested();
+        if interested == 0 {
+            return 0.0;
+        }
+        self.total_on_time() as f64 / interested as f64
+    }
+
+    /// The total earning of eq. (2).
+    pub fn total_earning(&self) -> Earning {
+        self.total_earning
+    }
+
+    /// Valid deliveries per subscriber (`msg(s_i)`).
+    pub fn valid_deliveries_of(&self, subscriber: SubscriberId) -> u64 {
+        self.per_subscriber_valid
+            .get(&subscriber)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Mean end-to-end delay of on-time deliveries, in milliseconds.
+    pub fn mean_valid_delay_ms(&self) -> f64 {
+        if self.delay_count == 0 {
+            0.0
+        } else {
+            self.delay_sum_ms / self.delay_count as f64
+        }
+    }
+
+    /// Merges another tracker (e.g. from a parallel shard) into this one.
+    pub fn merge(&mut self, other: &ObjectiveTracker) {
+        for (id, stat) in &other.messages {
+            let mine = self.messages.entry(*id).or_default();
+            mine.interested = mine.interested.max(stat.interested);
+            mine.delivered_on_time += stat.delivered_on_time;
+            mine.delivered_late += stat.delivered_late;
+        }
+        for (s, n) in &other.per_subscriber_valid {
+            *self.per_subscriber_valid.entry(*s).or_insert(0) += n;
+        }
+        self.total_earning += other.total_earning;
+        self.delay_sum_ms += other.delay_sum_ms;
+        self.delay_count += other.delay_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_rate_follows_equation_1() {
+        let mut t = ObjectiveTracker::new();
+        t.register_message(MessageId::new(1), 4);
+        t.register_message(MessageId::new(2), 2);
+        // Message 1 reaches 3 of 4 in time, message 2 reaches 0 of 2.
+        for i in 0..3 {
+            t.record_delivery(
+                MessageId::new(1),
+                SubscriberId::new(i),
+                Price::unit(),
+                Duration::from_secs(5),
+                true,
+            );
+        }
+        t.record_delivery(
+            MessageId::new(2),
+            SubscriberId::new(9),
+            Price::unit(),
+            Duration::from_secs(40),
+            false,
+        );
+        assert_eq!(t.total_interested(), 6);
+        assert_eq!(t.total_on_time(), 3);
+        assert_eq!(t.total_late(), 1);
+        assert!((t.delivery_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(t.published_messages(), 2);
+    }
+
+    #[test]
+    fn earning_follows_equation_2() {
+        let mut t = ObjectiveTracker::new();
+        t.register_message(MessageId::new(1), 3);
+        // Subscriber 0 pays 3 per valid message and receives two valid messages.
+        t.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(0),
+            Price::from_units(3),
+            Duration::from_secs(2),
+            true,
+        );
+        t.register_message(MessageId::new(2), 3);
+        t.record_delivery(
+            MessageId::new(2),
+            SubscriberId::new(0),
+            Price::from_units(3),
+            Duration::from_secs(2),
+            true,
+        );
+        // Subscriber 1 pays 1 and receives one valid and one late message.
+        t.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(1),
+            Price::from_units(1),
+            Duration::from_secs(2),
+            true,
+        );
+        t.record_delivery(
+            MessageId::new(2),
+            SubscriberId::new(1),
+            Price::from_units(1),
+            Duration::from_secs(90),
+            false,
+        );
+        assert_eq!(t.total_earning().as_f64(), 7.0);
+        assert_eq!(t.valid_deliveries_of(SubscriberId::new(0)), 2);
+        assert_eq!(t.valid_deliveries_of(SubscriberId::new(1)), 1);
+        assert_eq!(t.valid_deliveries_of(SubscriberId::new(7)), 0);
+    }
+
+    #[test]
+    fn empty_tracker_defaults() {
+        let t = ObjectiveTracker::new();
+        assert_eq!(t.delivery_rate(), 0.0);
+        assert_eq!(t.total_earning(), Earning::ZERO);
+        assert_eq!(t.mean_valid_delay_ms(), 0.0);
+    }
+
+    #[test]
+    fn mean_delay_counts_only_valid_deliveries() {
+        let mut t = ObjectiveTracker::new();
+        t.register_message(MessageId::new(1), 2);
+        t.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(0),
+            Price::unit(),
+            Duration::from_millis(1_000),
+            true,
+        );
+        t.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(1),
+            Price::unit(),
+            Duration::from_millis(9_000),
+            false,
+        );
+        assert!((t.mean_valid_delay_ms() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = ObjectiveTracker::new();
+        a.register_message(MessageId::new(1), 4);
+        a.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(0),
+            Price::from_units(2),
+            Duration::from_secs(1),
+            true,
+        );
+        let mut b = ObjectiveTracker::new();
+        b.register_message(MessageId::new(1), 4);
+        b.record_delivery(
+            MessageId::new(1),
+            SubscriberId::new(1),
+            Price::from_units(2),
+            Duration::from_secs(3),
+            true,
+        );
+        a.merge(&b);
+        assert_eq!(a.total_on_time(), 2);
+        assert_eq!(a.total_interested(), 4);
+        assert_eq!(a.total_earning().as_f64(), 4.0);
+        assert!((a.delivery_rate() - 0.5).abs() < 1e-12);
+        assert!((a.mean_valid_delay_ms() - 2_000.0).abs() < 1e-9);
+    }
+}

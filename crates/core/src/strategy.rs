@@ -1,0 +1,145 @@
+//! The scheduling strategies (§5, §6.1).
+//!
+//! A strategy is a priority function over queued messages; the output queue
+//! removes the highest-priority item whenever its link becomes free. All
+//! priorities are *recomputed at selection time* because every metric of the
+//! paper depends on the current time.
+
+use crate::config::{SchedulerConfig, StrategyKind};
+use crate::metrics;
+use crate::queue::QueuedMessage;
+use bdps_types::time::SimTime;
+
+/// Everything a strategy needs to score one queued message.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleContext {
+    /// The current simulated time.
+    pub now: SimTime,
+    /// The broker's scheduler configuration.
+    pub config: SchedulerConfig,
+    /// The `FT` estimate for the queue being scheduled (average message size
+    /// times the link's mean per-KB rate), used by PC and EBPC.
+    pub first_send_estimate_ms: f64,
+}
+
+impl ScheduleContext {
+    /// The priority of a queued message under the configured strategy —
+    /// larger is "send sooner".
+    pub fn priority(&self, item: &QueuedMessage) -> f64 {
+        let pd = self.config.processing_delay;
+        match self.config.strategy {
+            StrategyKind::Fifo => {
+                // Earlier enqueue time wins; negate so larger = earlier.
+                -(item.enqueue_time.as_micros() as f64)
+            }
+            StrategyKind::RemainingLifetime => {
+                // Minimum (average) remaining lifetime first.
+                -item.avg_remaining_lifetime_ms(self.now)
+            }
+            StrategyKind::MaxEb => {
+                metrics::expected_benefit(&item.message, &item.targets, self.now, pd)
+            }
+            StrategyKind::MaxPc => metrics::postponing_cost(
+                &item.message,
+                &item.targets,
+                self.now,
+                pd,
+                self.first_send_estimate_ms,
+            ),
+            StrategyKind::MaxEbpc => metrics::ebpc(
+                &item.message,
+                &item.targets,
+                self.now,
+                pd,
+                self.first_send_estimate_ms,
+                self.config.ebpc_weight,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::MatchedTarget;
+    use bdps_overlay::pathstats::PathStats;
+    use bdps_stats::normal::Normal;
+    use bdps_types::id::{MessageId, PublisherId, SubscriberId, SubscriptionId};
+    use bdps_types::message::Message;
+    use bdps_types::money::Price;
+    use bdps_types::time::Duration;
+    use std::sync::Arc;
+
+    fn item(id: u64, enqueue_secs: u64, allowed_secs: u64, price: i64, hops: u32) -> QueuedMessage {
+        let mut stats = PathStats::local();
+        for _ in 0..hops {
+            stats = stats.extend(Normal::new(60.0, 20.0));
+        }
+        QueuedMessage {
+            message: Arc::new(
+                Message::builder(MessageId::new(id), PublisherId::new(0))
+                    .publish_time(SimTime::ZERO)
+                    .size_kb(50.0)
+                    .build(),
+            ),
+            targets: vec![MatchedTarget {
+                subscription: SubscriptionId::new(0),
+                subscriber: SubscriberId::new(0),
+                price: Price::from_units(price),
+                allowed_delay: Duration::from_secs(allowed_secs),
+                stats,
+            }],
+            enqueue_time: SimTime::from_secs(enqueue_secs),
+        }
+    }
+
+    fn ctx(strategy: StrategyKind) -> ScheduleContext {
+        ScheduleContext {
+            now: SimTime::from_secs(2),
+            config: SchedulerConfig::paper(strategy),
+            first_send_estimate_ms: 50.0 * 75.0,
+        }
+    }
+
+    #[test]
+    fn fifo_prefers_older_items() {
+        let c = ctx(StrategyKind::Fifo);
+        assert!(c.priority(&item(1, 1, 30, 1, 1)) > c.priority(&item(2, 5, 10, 3, 1)));
+    }
+
+    #[test]
+    fn rl_prefers_shorter_lifetimes() {
+        let c = ctx(StrategyKind::RemainingLifetime);
+        assert!(c.priority(&item(1, 0, 10, 1, 1)) > c.priority(&item(2, 0, 60, 1, 1)));
+    }
+
+    #[test]
+    fn eb_prefers_higher_prices_and_better_odds() {
+        let c = ctx(StrategyKind::MaxEb);
+        // Same odds, higher price wins.
+        assert!(c.priority(&item(1, 0, 30, 3, 1)) > c.priority(&item(2, 0, 30, 1, 1)));
+        // Same price, shorter path (better odds) wins.
+        assert!(c.priority(&item(3, 0, 10, 1, 1)) > c.priority(&item(4, 0, 10, 1, 3)));
+    }
+
+    #[test]
+    fn pc_prefers_urgent_over_safe() {
+        let c = ctx(StrategyKind::MaxPc);
+        // The 8 s deadline message loses real probability if postponed; the
+        // 60 s one does not.
+        assert!(c.priority(&item(1, 0, 8, 1, 1)) > c.priority(&item(2, 0, 60, 1, 1)));
+    }
+
+    #[test]
+    fn ebpc_extremes_match_components() {
+        let urgent = item(1, 0, 8, 1, 1);
+        let safe = item(2, 0, 60, 1, 1);
+        let mut c = ctx(StrategyKind::MaxEbpc);
+        c.config.ebpc_weight = 1.0;
+        let eb_ctx = ctx(StrategyKind::MaxEb);
+        assert!((c.priority(&urgent) - eb_ctx.priority(&urgent)).abs() < 1e-12);
+        c.config.ebpc_weight = 0.0;
+        let pc_ctx = ctx(StrategyKind::MaxPc);
+        assert!((c.priority(&safe) - pc_ctx.priority(&safe)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+//! A small recursive-descent parser for the textual filter syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr     := or_expr
+//! or_expr  := and_expr ( "||" and_expr )*
+//! and_expr := unary ( "&&" unary )*
+//! unary    := "!" unary | "(" expr ")" | predicate | "true" | "false"
+//! predicate:= IDENT OP literal
+//! OP       := "<" | "<=" | ">" | ">=" | "==" | "!="
+//! literal  := NUMBER | STRING | "true" | "false"
+//! ```
+//!
+//! Examples: `A1 < 5 && A2 < 2`, `severity >= 3 || road == "M25"`.
+
+use crate::filter::FilterExpr;
+use crate::predicate::{CompOp, Predicate};
+use bdps_types::error::{BdpsError, Result};
+use bdps_types::value::AttrValue;
+
+/// Parses a textual filter expression.
+pub fn parse_filter(input: &str) -> Result<FilterExpr> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(BdpsError::FilterParse(format!(
+            "unexpected trailing input at token {:?}",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Op(CompOp),
+    AndAnd,
+    OrOr,
+    Not,
+    LParen,
+    RParen,
+    True,
+    False,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(BdpsError::FilterParse("expected '&&'".into()));
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(BdpsError::FilterParse("expected '||'".into()));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompOp::Le));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CompOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CompOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompOp::Eq));
+                    i += 2;
+                } else {
+                    return Err(BdpsError::FilterParse(
+                        "single '=' is not an operator, use '=='".into(),
+                    ));
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompOp::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(BdpsError::FilterParse("unterminated string".into()))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '-' || chars[i] == '+')
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| {
+                    BdpsError::FilterParse(format!("invalid number literal '{text}'"))
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.as_str() {
+                    "true" => tokens.push(Token::True),
+                    "false" => tokens.push(Token::False),
+                    _ => tokens.push(Token::Ident(word)),
+                }
+            }
+            other => {
+                return Err(BdpsError::FilterParse(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<FilterExpr> {
+        let mut terms = vec![self.parse_and()?];
+        while self.peek() == Some(&Token::OrOr) {
+            self.bump();
+            terms.push(self.parse_and()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            FilterExpr::Or(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<FilterExpr> {
+        let mut terms = vec![self.parse_unary()?];
+        while self.peek() == Some(&Token::AndAnd) {
+            self.bump();
+            terms.push(self.parse_unary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            FilterExpr::And(terms)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<FilterExpr> {
+        match self.bump() {
+            Some(Token::Not) => Ok(FilterExpr::not(self.parse_unary()?)),
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(BdpsError::FilterParse("expected ')'".into())),
+                }
+            }
+            Some(Token::True) => Ok(FilterExpr::True),
+            Some(Token::False) => Ok(FilterExpr::False),
+            Some(Token::Ident(name)) => {
+                let op = match self.bump() {
+                    Some(Token::Op(op)) => op,
+                    other => {
+                        return Err(BdpsError::FilterParse(format!(
+                            "expected comparison operator after '{name}', found {other:?}"
+                        )))
+                    }
+                };
+                let value: AttrValue = match self.bump() {
+                    Some(Token::Number(n)) => AttrValue::Float(n),
+                    Some(Token::Str(s)) => AttrValue::Str(s),
+                    Some(Token::True) => AttrValue::Bool(true),
+                    Some(Token::False) => AttrValue::Bool(false),
+                    other => {
+                        return Err(BdpsError::FilterParse(format!(
+                            "expected literal after operator, found {other:?}"
+                        )))
+                    }
+                };
+                Ok(FilterExpr::Pred(Predicate::new(name.as_str(), op, value)))
+            }
+            other => Err(BdpsError::FilterParse(format!(
+                "unexpected token {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdps_types::message::MessageHead;
+
+    fn head(pairs: &[(&str, f64)]) -> MessageHead {
+        let mut h = MessageHead::new();
+        for (n, v) in pairs {
+            h.set(*n, *v);
+        }
+        h
+    }
+
+    #[test]
+    fn parses_paper_style_conjunction() {
+        let e = parse_filter("A1 < 5 && A2 < 2").unwrap();
+        assert!(e.matches(&head(&[("A1", 4.0), ("A2", 1.0)])));
+        assert!(!e.matches(&head(&[("A1", 6.0), ("A2", 1.0)])));
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        for (text, a1, expect) in [
+            ("A1 < 3", 2.0, true),
+            ("A1 <= 2", 2.0, true),
+            ("A1 > 3", 2.0, false),
+            ("A1 >= 2", 2.0, true),
+            ("A1 == 2", 2.0, true),
+            ("A1 != 2", 2.0, false),
+        ] {
+            let e = parse_filter(text).unwrap();
+            assert_eq!(e.matches(&head(&[("A1", a1)])), expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_strings_and_bools() {
+        let e = parse_filter("road == \"M25\" && closed == true").unwrap();
+        let mut h = MessageHead::new();
+        h.set("road", "M25").set("closed", true);
+        assert!(e.matches(&h));
+        h.set("closed", false);
+        assert!(!e.matches(&h));
+    }
+
+    #[test]
+    fn parses_nested_or_and_not() {
+        let e = parse_filter("!(A1 < 2) && (A2 < 1 || A2 > 9)").unwrap();
+        assert!(e.matches(&head(&[("A1", 5.0), ("A2", 0.5)])));
+        assert!(e.matches(&head(&[("A1", 5.0), ("A2", 9.5)])));
+        assert!(!e.matches(&head(&[("A1", 1.0), ("A2", 0.5)])));
+        assert!(!e.matches(&head(&[("A1", 5.0), ("A2", 5.0)])));
+    }
+
+    #[test]
+    fn parses_numbers_with_sign_and_exponent() {
+        let e = parse_filter("delta >= -1.5e-2").unwrap();
+        assert!(e.matches(&head(&[("delta", 0.0)])));
+        assert!(!e.matches(&head(&[("delta", -1.0)])));
+    }
+
+    #[test]
+    fn operator_precedence_and_binds_tighter_than_or() {
+        let e = parse_filter("A1 < 1 || A1 > 9 && A2 > 5").unwrap();
+        // Parsed as A1<1 || (A1>9 && A2>5).
+        assert!(e.matches(&head(&[("A1", 0.5), ("A2", 0.0)])));
+        assert!(e.matches(&head(&[("A1", 9.5), ("A2", 6.0)])));
+        assert!(!e.matches(&head(&[("A1", 9.5), ("A2", 1.0)])));
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert!(parse_filter("true").unwrap().matches(&MessageHead::new()));
+        assert!(!parse_filter("false").unwrap().matches(&MessageHead::new()));
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(parse_filter("A1 <").is_err());
+        assert!(parse_filter("A1 = 3").is_err());
+        assert!(parse_filter("A1 < 3 &&").is_err());
+        assert!(parse_filter("(A1 < 3").is_err());
+        assert!(parse_filter("A1 < 3 extra").is_err());
+        assert!(parse_filter("\"unterminated").is_err());
+        assert!(parse_filter("A1 # 3").is_err());
+        assert!(parse_filter("A1 & 3").is_err());
+        assert!(parse_filter("A1 | 3").is_err());
+        assert!(parse_filter("").is_err());
+        assert!(parse_filter("A1 < 1.2.3").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_filter("A1<5&&A2<2").unwrap();
+        let b = parse_filter("  A1  <  5  &&  A2  <  2  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Selectivity estimation for filters.
+//!
+//! The paper's workload is engineered so that each published message matches
+//! 25 % of subscriptions on average (two independent uniform attributes, each
+//! constrained by a uniform `<` threshold gives (1/2)² = 25 %). Workload
+//! generators and experiment reports use these estimators to sanity-check
+//! that generated subscription populations hit the intended selectivity.
+
+use crate::filter::Filter;
+use crate::predicate::{CompOp, Predicate};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The assumed marginal distribution of one message-head attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttributeModel {
+    /// Uniformly distributed on `[lo, hi)` (the paper's attributes are U(0, 10)).
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+}
+
+impl AttributeModel {
+    /// `P(X < c)` under this model.
+    fn prob_lt(&self, c: f64) -> f64 {
+        match *self {
+            AttributeModel::Uniform { lo, hi } => ((c - lo) / (hi - lo)).clamp(0.0, 1.0),
+        }
+    }
+
+    /// `P(X <= c)`; identical to `prob_lt` for continuous models.
+    fn prob_le(&self, c: f64) -> f64 {
+        self.prob_lt(c)
+    }
+}
+
+/// A collection of per-attribute models used to estimate filter selectivity.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SelectivityModel {
+    attributes: HashMap<String, AttributeModel>,
+}
+
+impl SelectivityModel {
+    /// Creates an empty model (unknown attributes get selectivity 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The model of the paper's workload: `A1`, `A2` uniform on `(0, 10)`.
+    pub fn paper_workload() -> Self {
+        let mut m = SelectivityModel::new();
+        m.set_attribute("A1", AttributeModel::Uniform { lo: 0.0, hi: 10.0 });
+        m.set_attribute("A2", AttributeModel::Uniform { lo: 0.0, hi: 10.0 });
+        m
+    }
+
+    /// Declares the distribution of an attribute.
+    pub fn set_attribute(&mut self, name: impl Into<String>, model: AttributeModel) {
+        self.attributes.insert(name.into(), model);
+    }
+
+    /// Estimated probability that a random message satisfies the predicate.
+    /// Unknown attributes and non-numeric predicates yield the conservative
+    /// estimate 1.0 (no reduction in selectivity).
+    pub fn predicate_selectivity(&self, pred: &Predicate) -> f64 {
+        let Some(model) = self.attributes.get(pred.attr.as_str()) else {
+            return 1.0;
+        };
+        let Some(c) = pred.value.as_f64() else {
+            return 1.0;
+        };
+        match pred.op {
+            CompOp::Lt => model.prob_lt(c),
+            CompOp::Le => model.prob_le(c),
+            CompOp::Gt => 1.0 - model.prob_le(c),
+            CompOp::Ge => 1.0 - model.prob_lt(c),
+            // Point predicates over continuous models have measure ~0 / ~1.
+            CompOp::Eq => 0.0,
+            CompOp::Ne => 1.0,
+        }
+    }
+
+    /// Estimated probability that a random message matches the whole filter,
+    /// assuming attribute independence (the paper's workload is independent).
+    pub fn filter_selectivity(&self, filter: &Filter) -> f64 {
+        filter
+            .predicates()
+            .iter()
+            .map(|p| self.predicate_selectivity(p))
+            .product()
+    }
+
+    /// Estimated average fraction of a subscription population that a random
+    /// message matches.
+    pub fn population_selectivity<'a>(
+        &self,
+        filters: impl IntoIterator<Item = &'a Filter>,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for f in filters {
+            total += self.filter_selectivity(f);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_predicate_selectivity() {
+        let m = SelectivityModel::paper_workload();
+        assert!((m.predicate_selectivity(&Predicate::lt("A1", 5.0)) - 0.5).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::lt("A1", 2.5)) - 0.25).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::gt("A1", 7.5)) - 0.25).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::ge("A2", 0.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.predicate_selectivity(&Predicate::eq("A1", 5.0)), 0.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::ne("A1", 5.0)), 1.0);
+        // Out-of-range constants clamp.
+        assert_eq!(m.predicate_selectivity(&Predicate::lt("A1", 20.0)), 1.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::lt("A1", -1.0)), 0.0);
+    }
+
+    #[test]
+    fn unknown_attribute_is_conservative() {
+        let m = SelectivityModel::paper_workload();
+        assert_eq!(m.predicate_selectivity(&Predicate::lt("A9", 1.0)), 1.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::eq("sym", "ACME")), 1.0);
+    }
+
+    #[test]
+    fn filter_selectivity_is_product() {
+        let m = SelectivityModel::paper_workload();
+        let f = Filter::paper_conjunction(5.0, 5.0);
+        assert!((m.filter_selectivity(&f) - 0.25).abs() < 1e-12);
+        assert_eq!(m.filter_selectivity(&Filter::match_all()), 1.0);
+    }
+
+    #[test]
+    fn expected_paper_population_selectivity_is_one_quarter() {
+        // E[P(A1 < X1)] with X1 ~ U(0,10) is 1/2; two independent attributes -> 1/4.
+        let m = SelectivityModel::paper_workload();
+        // Deterministic grid over threshold space approximates the expectation.
+        let mut filters = Vec::new();
+        let steps = 40;
+        for i in 0..steps {
+            for j in 0..steps {
+                let x1 = (i as f64 + 0.5) * 10.0 / steps as f64;
+                let x2 = (j as f64 + 0.5) * 10.0 / steps as f64;
+                filters.push(Filter::paper_conjunction(x1, x2));
+            }
+        }
+        let avg = m.population_selectivity(filters.iter());
+        assert!((avg - 0.25).abs() < 0.01, "avg = {avg}");
+    }
+
+    #[test]
+    fn empty_population() {
+        let m = SelectivityModel::paper_workload();
+        assert_eq!(m.population_selectivity(std::iter::empty()), 0.0);
+    }
+}

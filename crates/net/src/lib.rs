@@ -1,0 +1,45 @@
+//! # bdps-net
+//!
+//! The network substrate of BDPS: models of the *underlay* connections that
+//! overlay links are built on, and the measurement machinery brokers use to
+//! estimate link quality.
+//!
+//! The paper (§3.2) assumes that the available bandwidth of each overlay link
+//! — expressed as the *transmission rate* `TR`, the time in milliseconds
+//! needed to transmit one kilobyte — follows a normal distribution whose
+//! parameters each broker estimates "by some tools of network measurement".
+//! This crate provides:
+//!
+//! * [`bandwidth`] — pluggable per-link bandwidth models: the paper's
+//!   normally-distributed rate, a fixed rate (the assumption of the
+//!   QRON-style related work the paper contrasts with), and a shifted-gamma
+//!   per-packet delay model derived from the Internet measurement studies the
+//!   paper cites;
+//! * [`link`] — directed overlay links carrying a bandwidth model;
+//! * [`measure`] — simulated bandwidth probing feeding online estimators,
+//!   including deliberate estimation-error injection for ablation studies;
+//! * [`tcp`] — a Mathis-formula TCP throughput model used to derive
+//!   realistic per-KB rates from RTT and loss characteristics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod link;
+pub mod measure;
+pub mod tcp;
+
+pub use bandwidth::{AnyBandwidth, BandwidthModel, FixedRate, NormalRate, ShiftedGammaRate};
+pub use link::{Link, LinkDirection, LinkQuality};
+pub use measure::{EstimationError, LinkEstimator};
+pub use tcp::TcpPathModel;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::bandwidth::{
+        AnyBandwidth, BandwidthModel, FixedRate, NormalRate, ShiftedGammaRate,
+    };
+    pub use crate::link::{Link, LinkDirection, LinkQuality};
+    pub use crate::measure::{EstimationError, LinkEstimator};
+    pub use crate::tcp::TcpPathModel;
+}

@@ -1,0 +1,334 @@
+//! Single-path routing over the overlay.
+//!
+//! The paper uses single-path routing where "the criterion for path selection
+//! is to minimize the mean value of the transmission rate of the path"
+//! (§3.3). We compute, for every *destination* broker, a shortest-path tree
+//! over the reversed graph with Dijkstra's algorithm, using each link's mean
+//! per-KB rate as its weight. Rooting the computation at the destination
+//! guarantees that the per-broker next hops are mutually consistent: the path
+//! a message actually follows hop by hop is exactly the path whose statistics
+//! each broker advertises.
+
+use crate::graph::OverlayGraph;
+use crate::pathstats::PathStats;
+use bdps_types::error::{BdpsError, Result};
+use bdps_types::id::{BrokerId, LinkId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The routing decision of one broker for one destination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// The neighbour to forward to (the paper's `nb`).
+    pub next_hop: BrokerId,
+    /// The outgoing link towards that neighbour.
+    pub next_link: LinkId,
+    /// Statistics of the whole remaining path to the destination.
+    pub stats: PathStats,
+}
+
+/// All-pairs single-path routes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Routing {
+    /// `table[dest][source]` — the route entry at `source` towards `dest`
+    /// (`None` when `source == dest` or `dest` is unreachable from `source`).
+    table: Vec<Vec<Option<RouteEntry>>>,
+    broker_count: usize,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    broker: BrokerId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance with deterministic broker-id tie-breaking.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.broker.cmp(&self.broker))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Routing {
+    /// Computes single-path routes for every (source, destination) pair.
+    pub fn compute(graph: &OverlayGraph) -> Routing {
+        let n = graph.broker_count();
+        let mut table = Vec::with_capacity(n);
+        for dest_raw in 0..n {
+            let dest = BrokerId::new(dest_raw as u32);
+            table.push(Self::routes_towards(graph, dest));
+        }
+        Routing {
+            table,
+            broker_count: n,
+        }
+    }
+
+    /// Dijkstra rooted at the destination over reversed links.
+    ///
+    /// Returns, for every source broker, the first hop of its minimum
+    /// mean-rate path towards `dest` together with the accumulated path
+    /// statistics.
+    fn routes_towards(graph: &OverlayGraph, dest: BrokerId) -> Vec<Option<RouteEntry>> {
+        let n = graph.broker_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut entry: Vec<Option<RouteEntry>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+
+        dist[dest.index()] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            broker: dest,
+        });
+
+        // We relax *incoming* links of the settled broker: if broker `v` can
+        // reach `dest` with cost d(v), then any broker `u` with a link u -> v
+        // can reach it with cost d(v) + mean_rate(u -> v), taking u's first
+        // hop to be v.
+        while let Some(HeapEntry { dist: d, broker: v }) = heap.pop() {
+            if done[v.index()] {
+                continue;
+            }
+            done[v.index()] = true;
+            for link in graph.links().filter(|l| l.to == v) {
+                let u = link.from;
+                if done[u.index()] {
+                    continue;
+                }
+                let weight = link.quality.rate_distribution().mean();
+                let candidate = d + weight;
+                let better = candidate < dist[u.index()]
+                    || (candidate == dist[u.index()]
+                        && entry[u.index()]
+                            .map(|e| v < e.next_hop)
+                            .unwrap_or(true));
+                if better {
+                    dist[u.index()] = candidate;
+                    // Path stats of u: the link u -> v followed by v's path.
+                    let downstream = match entry[v.index()] {
+                        Some(e) => e.stats,
+                        None => PathStats::local(),
+                    };
+                    let stats = PathStats {
+                        downstream_brokers: downstream.downstream_brokers + 1,
+                        rate: downstream
+                            .rate
+                            .add_independent(&link.quality.rate_distribution()),
+                    };
+                    entry[u.index()] = Some(RouteEntry {
+                        next_hop: v,
+                        next_link: link.id,
+                        stats,
+                    });
+                    heap.push(HeapEntry {
+                        dist: candidate,
+                        broker: u,
+                    });
+                }
+            }
+        }
+        entry
+    }
+
+    /// Number of brokers the routing was computed for.
+    pub fn broker_count(&self) -> usize {
+        self.broker_count
+    }
+
+    /// The route entry at `from` towards `to`; `None` when `from == to` or
+    /// `to` is unreachable.
+    pub fn route(&self, from: BrokerId, to: BrokerId) -> Option<&RouteEntry> {
+        self.table
+            .get(to.index())
+            .and_then(|per_source| per_source.get(from.index()))
+            .and_then(|e| e.as_ref())
+    }
+
+    /// The route entry, returning an error for unreachable destinations.
+    pub fn route_or_err(&self, from: BrokerId, to: BrokerId) -> Result<&RouteEntry> {
+        if from == to {
+            return Err(BdpsError::InvalidConfig(format!(
+                "no route needed from {from} to itself"
+            )));
+        }
+        self.route(from, to).ok_or(BdpsError::Unreachable {
+            from: from.raw(),
+            to: to.raw(),
+        })
+    }
+
+    /// The full broker path from `from` to `to` (both endpoints included),
+    /// or `None` when unreachable. `from == to` yields a single-element path.
+    pub fn path(&self, from: BrokerId, to: BrokerId) -> Option<Vec<BrokerId>> {
+        let mut path = vec![from];
+        let mut current = from;
+        let mut guard = 0;
+        while current != to {
+            let entry = self.route(current, to)?;
+            current = entry.next_hop;
+            path.push(current);
+            guard += 1;
+            if guard > self.broker_count {
+                // Cycle — should be impossible by construction.
+                return None;
+            }
+        }
+        Some(path)
+    }
+
+    /// The statistics of the path from `from` to `to` (empty/local when equal).
+    pub fn path_stats(&self, from: BrokerId, to: BrokerId) -> Option<PathStats> {
+        if from == to {
+            return Some(PathStats::local());
+        }
+        self.route(from, to).map(|e| e.stats)
+    }
+
+    /// Checks that following next hops from every source terminates at every
+    /// reachable destination (used by integration tests and `validate` in
+    /// debug builds).
+    pub fn is_consistent(&self) -> bool {
+        for dest_raw in 0..self.broker_count {
+            for src_raw in 0..self.broker_count {
+                let dest = BrokerId::new(dest_raw as u32);
+                let src = BrokerId::new(src_raw as u32);
+                if src != dest && self.route(src, dest).is_some() && self.path(src, dest).is_none()
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdps_net::bandwidth::FixedRate;
+    use bdps_net::link::LinkQuality;
+
+    fn quality(rate: f64) -> LinkQuality {
+        LinkQuality::new(FixedRate::new(rate))
+    }
+
+    /// B0 - B1 - B3 and B0 - B2 - B3, where the B1 route is cheaper.
+    fn diamond() -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        let b0 = g.add_broker(None);
+        let b1 = g.add_broker(None);
+        let b2 = g.add_broker(None);
+        let b3 = g.add_broker(None);
+        g.add_bidirectional_link(b0, b1, quality(50.0));
+        g.add_bidirectional_link(b1, b3, quality(50.0));
+        g.add_bidirectional_link(b0, b2, quality(80.0));
+        g.add_bidirectional_link(b2, b3, quality(80.0));
+        g
+    }
+
+    #[test]
+    fn picks_minimum_mean_rate_path() {
+        let g = diamond();
+        let r = Routing::compute(&g);
+        let entry = r.route(BrokerId::new(0), BrokerId::new(3)).unwrap();
+        assert_eq!(entry.next_hop, BrokerId::new(1));
+        assert_eq!(entry.stats.downstream_brokers, 2);
+        assert!((entry.stats.mean_rate() - 100.0).abs() < 1e-9);
+        assert_eq!(
+            r.path(BrokerId::new(0), BrokerId::new(3)).unwrap(),
+            vec![BrokerId::new(0), BrokerId::new(1), BrokerId::new(3)]
+        );
+    }
+
+    #[test]
+    fn direct_neighbour_routes() {
+        let g = diamond();
+        let r = Routing::compute(&g);
+        let entry = r.route(BrokerId::new(1), BrokerId::new(0)).unwrap();
+        assert_eq!(entry.next_hop, BrokerId::new(0));
+        assert_eq!(entry.stats.downstream_brokers, 1);
+        assert!((entry.stats.mean_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_route_and_unreachable() {
+        let g = diamond();
+        let r = Routing::compute(&g);
+        assert!(r.route(BrokerId::new(2), BrokerId::new(2)).is_none());
+        assert_eq!(
+            r.path_stats(BrokerId::new(2), BrokerId::new(2)),
+            Some(PathStats::local())
+        );
+        assert!(r.route_or_err(BrokerId::new(2), BrokerId::new(2)).is_err());
+
+        // A graph with an isolated broker: unreachable routes are None.
+        let mut g2 = OverlayGraph::new();
+        let a = g2.add_broker(None);
+        let b = g2.add_broker(None);
+        let _c = g2.add_broker(None);
+        g2.add_bidirectional_link(a, b, quality(50.0));
+        let r2 = Routing::compute(&g2);
+        assert!(r2.route(BrokerId::new(0), BrokerId::new(2)).is_none());
+        assert!(matches!(
+            r2.route_or_err(BrokerId::new(0), BrokerId::new(2)),
+            Err(BdpsError::Unreachable { from: 0, to: 2 })
+        ));
+        assert!(r2.path(BrokerId::new(0), BrokerId::new(2)).is_none());
+    }
+
+    #[test]
+    fn next_hops_are_consistent_with_advertised_stats() {
+        let g = diamond();
+        let r = Routing::compute(&g);
+        assert!(r.is_consistent());
+        // Walking the path and summing link means must equal the advertised path mean.
+        for from in 0..4u32 {
+            for to in 0..4u32 {
+                if from == to {
+                    continue;
+                }
+                let from = BrokerId::new(from);
+                let to = BrokerId::new(to);
+                let stats = r.path_stats(from, to).unwrap();
+                let path = r.path(from, to).unwrap();
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    sum += g
+                        .link_between(w[0], w[1])
+                        .unwrap()
+                        .quality
+                        .rate_distribution()
+                        .mean();
+                }
+                assert!((sum - stats.mean_rate()).abs() < 1e-9);
+                assert_eq!(stats.downstream_brokers as usize, path.len() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_directed_links_respected() {
+        // Only a one-way link B0 -> B1 exists; B1 cannot reach B0.
+        let mut g = OverlayGraph::new();
+        let a = g.add_broker(None);
+        let b = g.add_broker(None);
+        g.add_link(a, b, quality(50.0));
+        let r = Routing::compute(&g);
+        assert!(r.route(a, b).is_some());
+        assert!(r.route(b, a).is_none());
+    }
+}

@@ -1,0 +1,349 @@
+//! Broker subscription tables.
+//!
+//! Every broker keeps a subscription table (paper §4.2) whose entries are
+//! `{(subscriber, filter, dl, pr, nb, NN_p, μ_p, σ_p²)}`: the subscription
+//! itself, the neighbour `nb` through which the subscriber is reached, and
+//! the statistics of the remaining path. Tables are built centrally here from
+//! the topology and routing — equivalent to the subscription-propagation
+//! protocol a deployed system would run, but deterministic and
+//! side-effect-free, which keeps the simulator honest.
+
+use crate::graph::OverlayGraph;
+use crate::pathstats::PathStats;
+use crate::routing::Routing;
+use bdps_filter::index::MatchIndex;
+use bdps_filter::subscription::Subscription;
+use bdps_types::id::{BrokerId, LinkId, SubscriptionId};
+use bdps_types::message::MessageHead;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One entry of a broker's subscription table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubTableEntry {
+    /// The subscription (subscriber, filter, delay bound `dl`, price `pr`).
+    pub subscription: Subscription,
+    /// The edge broker the subscriber attaches to.
+    pub edge_broker: BrokerId,
+    /// The neighbour to forward matching messages to (`nb`), or `None` when
+    /// the subscriber is attached to this broker (local delivery).
+    pub next_hop: Option<BrokerId>,
+    /// The outgoing link towards `next_hop`, when remote.
+    pub next_link: Option<LinkId>,
+    /// Path statistics from this broker to the subscriber (`NN_p`, `μ_p`, `σ_p²`).
+    pub stats: PathStats,
+}
+
+impl SubTableEntry {
+    /// Returns true when the subscriber is served locally by this broker.
+    pub fn is_local(&self) -> bool {
+        self.next_hop.is_none()
+    }
+}
+
+/// The subscription table of one broker.
+#[derive(Debug, Clone)]
+pub struct SubscriptionTable {
+    broker: BrokerId,
+    entries: Vec<SubTableEntry>,
+    by_id: HashMap<SubscriptionId, usize>,
+    index: MatchIndex,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table for the given broker.
+    pub fn new(broker: BrokerId) -> Self {
+        SubscriptionTable {
+            broker,
+            entries: Vec::new(),
+            by_id: HashMap::new(),
+            index: MatchIndex::new(),
+        }
+    }
+
+    /// The broker this table belongs to.
+    pub fn broker(&self) -> BrokerId {
+        self.broker
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[SubTableEntry] {
+        &self.entries
+    }
+
+    /// The entry for a subscription id, if present.
+    pub fn entry(&self, id: SubscriptionId) -> Option<&SubTableEntry> {
+        self.by_id.get(&id).map(|&i| &self.entries[i])
+    }
+
+    /// Adds an entry (replacing any previous entry for the same subscription).
+    pub fn insert(&mut self, entry: SubTableEntry) {
+        let id = entry.subscription.id;
+        self.index.insert(id, entry.subscription.filter.clone());
+        match self.by_id.get(&id) {
+            Some(&i) => self.entries[i] = entry,
+            None => {
+                self.by_id.insert(id, self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// Entries whose filter matches the message head.
+    pub fn matching(&self, head: &MessageHead) -> Vec<&SubTableEntry> {
+        self.index
+            .matching(head)
+            .into_iter()
+            .filter_map(|id| self.entry(id))
+            .collect()
+    }
+
+    /// Matching entries grouped by forwarding decision: local deliveries and
+    /// one group per next-hop neighbour.
+    pub fn matching_by_next_hop(
+        &self,
+        head: &MessageHead,
+    ) -> (Vec<&SubTableEntry>, HashMap<BrokerId, Vec<&SubTableEntry>>) {
+        let mut local = Vec::new();
+        let mut remote: HashMap<BrokerId, Vec<&SubTableEntry>> = HashMap::new();
+        for e in self.matching(head) {
+            match e.next_hop {
+                None => local.push(e),
+                Some(nb) => remote.entry(nb).or_default().push(e),
+            }
+        }
+        (local, remote)
+    }
+
+    /// Builds the table of `broker` for a population of subscriptions, each
+    /// attached at its edge broker. Subscriptions whose edge broker is
+    /// unreachable from this broker are skipped (they can never be served
+    /// from here).
+    pub fn build(
+        broker: BrokerId,
+        routing: &Routing,
+        subscriptions: &[(Subscription, BrokerId)],
+    ) -> SubscriptionTable {
+        let mut table = SubscriptionTable::new(broker);
+        for (sub, edge) in subscriptions {
+            if *edge == broker {
+                table.insert(SubTableEntry {
+                    subscription: sub.clone(),
+                    edge_broker: *edge,
+                    next_hop: None,
+                    next_link: None,
+                    stats: PathStats::local(),
+                });
+            } else if let Some(route) = routing.route(broker, *edge) {
+                table.insert(SubTableEntry {
+                    subscription: sub.clone(),
+                    edge_broker: *edge,
+                    next_hop: Some(route.next_hop),
+                    next_link: Some(route.next_link),
+                    stats: route.stats,
+                });
+            }
+        }
+        table
+    }
+
+    /// Builds the tables of every broker in the graph.
+    pub fn build_all(
+        graph: &OverlayGraph,
+        routing: &Routing,
+        subscriptions: &[(Subscription, BrokerId)],
+    ) -> Vec<SubscriptionTable> {
+        (0..graph.broker_count())
+            .map(|i| SubscriptionTable::build(BrokerId::new(i as u32), routing, subscriptions))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use bdps_filter::filter::Filter;
+    use bdps_net::bandwidth::FixedRate;
+    use bdps_net::link::LinkQuality;
+    use bdps_stats::rng::SimRng;
+    use bdps_types::id::SubscriberId;
+    use bdps_types::money::Price;
+    use bdps_types::qos::{DelayBound, QosClass};
+
+    fn fixed_quality(_rng: &mut SimRng) -> LinkQuality {
+        LinkQuality::new(FixedRate::new(60.0))
+    }
+
+    fn head(a1: f64, a2: f64) -> MessageHead {
+        let mut h = MessageHead::new();
+        h.set("A1", a1).set("A2", a2);
+        h
+    }
+
+    /// A line B0 - B1 - B2 with a subscriber on B2 and one on B1.
+    fn line_setup() -> (Topology, Routing, Vec<(Subscription, BrokerId)>) {
+        let mut rng = SimRng::seed_from(1);
+        let mut topo = Topology::line(3, &mut rng, fixed_quality);
+        let s0 = SubscriberId::new(0);
+        let s1 = SubscriberId::new(1);
+        topo.graph.attach_subscriber(BrokerId::new(2), s0);
+        topo.graph.attach_subscriber(BrokerId::new(1), s1);
+        let routing = Routing::compute(&topo.graph);
+        let subs = vec![
+            (
+                Subscription::with_qos(
+                    SubscriptionId::new(0),
+                    s0,
+                    Filter::paper_conjunction(5.0, 5.0),
+                    QosClass::new(DelayBound::from_secs(10), Price::from_units(3)),
+                ),
+                BrokerId::new(2),
+            ),
+            (
+                Subscription::best_effort(
+                    SubscriptionId::new(1),
+                    s1,
+                    Filter::paper_conjunction(9.0, 9.0),
+                ),
+                BrokerId::new(1),
+            ),
+        ];
+        (topo, routing, subs)
+    }
+
+    #[test]
+    fn build_produces_paper_table_fields() {
+        let (_topo, routing, subs) = line_setup();
+        let table = SubscriptionTable::build(BrokerId::new(0), &routing, &subs);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.broker(), BrokerId::new(0));
+
+        let e0 = table.entry(SubscriptionId::new(0)).unwrap();
+        assert_eq!(e0.next_hop, Some(BrokerId::new(1)));
+        assert_eq!(e0.edge_broker, BrokerId::new(2));
+        assert_eq!(e0.stats.downstream_brokers, 2);
+        assert!((e0.stats.mean_rate() - 120.0).abs() < 1e-9);
+        assert!(!e0.is_local());
+        assert_eq!(e0.subscription.price, Price::from_units(3));
+
+        let e1 = table.entry(SubscriptionId::new(1)).unwrap();
+        assert_eq!(e1.next_hop, Some(BrokerId::new(1)));
+        assert_eq!(e1.stats.downstream_brokers, 1);
+    }
+
+    #[test]
+    fn local_entries_on_edge_broker() {
+        let (_topo, routing, subs) = line_setup();
+        let table = SubscriptionTable::build(BrokerId::new(2), &routing, &subs);
+        let e0 = table.entry(SubscriptionId::new(0)).unwrap();
+        assert!(e0.is_local());
+        assert_eq!(e0.stats, PathStats::local());
+        // Subscription 1 lives on broker 1, reached via broker 1.
+        let e1 = table.entry(SubscriptionId::new(1)).unwrap();
+        assert_eq!(e1.next_hop, Some(BrokerId::new(1)));
+    }
+
+    #[test]
+    fn matching_and_grouping() {
+        let (_topo, routing, subs) = line_setup();
+        let table = SubscriptionTable::build(BrokerId::new(1), &routing, &subs);
+        // A head matching both filters.
+        let (local, remote) = table.matching_by_next_hop(&head(1.0, 1.0));
+        assert_eq!(local.len(), 1); // subscription 1 is local to broker 1
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[&BrokerId::new(2)].len(), 1);
+        // A head matching only the wide filter.
+        let (local, remote) = table.matching_by_next_hop(&head(7.0, 7.0));
+        assert_eq!(local.len(), 1);
+        assert!(remote.is_empty());
+        // A head matching nothing.
+        let (local, remote) = table.matching_by_next_hop(&head(9.5, 9.5));
+        assert!(local.is_empty());
+        assert!(remote.is_empty());
+    }
+
+    #[test]
+    fn build_all_covers_every_broker() {
+        let (topo, routing, subs) = line_setup();
+        let tables = SubscriptionTable::build_all(&topo.graph, &routing, &subs);
+        assert_eq!(tables.len(), 3);
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(t.broker(), BrokerId::new(i as u32));
+            assert_eq!(t.len(), 2, "broker {i} should see every subscription");
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing_entry() {
+        let (_topo, routing, subs) = line_setup();
+        let mut table = SubscriptionTable::build(BrokerId::new(0), &routing, &subs);
+        let mut replacement = table.entry(SubscriptionId::new(0)).unwrap().clone();
+        replacement.subscription.filter = Filter::match_all();
+        table.insert(replacement);
+        assert_eq!(table.len(), 2);
+        // Now every head matches subscription 0 at this broker.
+        let m = table.matching(&head(9.9, 9.9));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].subscription.id, SubscriptionId::new(0));
+    }
+
+    #[test]
+    fn unreachable_edge_brokers_are_skipped() {
+        // Two disconnected brokers.
+        let mut g = OverlayGraph::new();
+        let a = g.add_broker(None);
+        let b = g.add_broker(None);
+        let routing = Routing::compute(&g);
+        let subs = vec![(
+            Subscription::best_effort(
+                SubscriptionId::new(0),
+                SubscriberId::new(0),
+                Filter::match_all(),
+            ),
+            b,
+        )];
+        let table = SubscriptionTable::build(a, &routing, &subs);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn paper_topology_tables_reach_all_160_subscribers() {
+        let mut rng = SimRng::seed_from(9);
+        let topo = Topology::paper_topology(&mut rng);
+        let routing = Routing::compute(&topo.graph);
+        let subs: Vec<(Subscription, BrokerId)> = topo
+            .subscribers
+            .iter()
+            .enumerate()
+            .map(|(i, (s, b))| {
+                (
+                    Subscription::best_effort(
+                        SubscriptionId::new(i as u32),
+                        *s,
+                        Filter::match_all(),
+                    ),
+                    *b,
+                )
+            })
+            .collect();
+        // Every broker must be able to reach every subscriber in the paper's mesh.
+        let tables = SubscriptionTable::build_all(&topo.graph, &routing, &subs);
+        for t in &tables {
+            assert_eq!(t.len(), 160, "broker {} table incomplete", t.broker());
+        }
+        // First-layer brokers must route everything downstream (no local subscribers).
+        let first_layer = &tables[0];
+        assert!(first_layer.entries().iter().all(|e| !e.is_local()));
+    }
+}

@@ -1,0 +1,654 @@
+//! The discrete-event simulation core.
+//!
+//! The simulator drives a set of [`BrokerState`]s through three kinds of
+//! events, processed in strict time order with deterministic tie-breaking:
+//!
+//! * **Publish** — a publisher emits a new message and hands it to its
+//!   attached broker (local hand-off, no overlay link involved);
+//! * **Process** — a broker finishes the processing module for a received
+//!   message (arrival time + `PD`), delivers local matches and enqueues
+//!   copies to downstream output queues;
+//! * **SendComplete** — a link finishes transmitting a message copy; the
+//!   copy is handed to the receiving broker and the link immediately pulls
+//!   the next message chosen by the scheduling strategy.
+//!
+//! Every message copy carries the set of subscription identifiers it is
+//! responsible for, so single-path routing never produces duplicate
+//! deliveries (see [`BrokerState::handle_arrival_scoped`]).
+
+use bdps_core::broker::{BrokerCounters, BrokerState};
+use bdps_core::config::SchedulerConfig;
+use bdps_core::objective::ObjectiveTracker;
+use bdps_filter::index::MatchIndex;
+use bdps_filter::subscription::Subscription;
+use bdps_net::measure::EstimationError;
+use bdps_overlay::routing::Routing;
+use bdps_overlay::subtable::SubscriptionTable;
+use bdps_overlay::topology::Topology;
+use bdps_stats::rng::SimRng;
+use bdps_stats::summary::Summary;
+use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriptionId};
+use bdps_types::message::Message;
+use bdps_types::time::{Duration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::workload::WorkloadConfig;
+
+/// One scheduled event.
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// A publisher emits its next message.
+    Publish { publisher: PublisherId },
+    /// A broker finishes processing a received message copy.
+    Process {
+        broker: BrokerId,
+        message: Arc<Message>,
+        scope: Option<Vec<SubscriptionId>>,
+    },
+    /// A link finishes transmitting a message copy.
+    SendComplete {
+        link: LinkId,
+        message: Arc<Message>,
+        scope: Vec<SubscriptionId>,
+    },
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// The paper's objective bookkeeping (delivery rate, earning).
+    pub tracker: ObjectiveTracker,
+    /// Per-broker counters, indexed by broker id.
+    pub broker_counters: Vec<BrokerCounters>,
+    /// Number of messages published.
+    pub published: u64,
+    /// Number of link transmissions performed.
+    pub transmissions: u64,
+    /// Summary of end-to-end delays of on-time deliveries (ms).
+    pub valid_delays_ms: Summary,
+    /// The simulated time at which the run ended.
+    pub finished_at: SimTime,
+}
+
+impl SimulationOutcome {
+    /// The paper's "message number" metric: total messages received by all brokers.
+    pub fn message_number(&self) -> u64 {
+        self.broker_counters.iter().map(|c| c.received).sum()
+    }
+
+    /// Total copies dropped because they expired.
+    pub fn dropped_expired(&self) -> u64 {
+        self.broker_counters.iter().map(|c| c.dropped_expired).sum()
+    }
+
+    /// Total copies dropped as unlikely to make their deadline (eq. 11).
+    pub fn dropped_unlikely(&self) -> u64 {
+        self.broker_counters
+            .iter()
+            .map(|c| c.dropped_unlikely)
+            .sum()
+    }
+
+    /// Total copies handed to links.
+    pub fn sent(&self) -> u64 {
+        self.broker_counters.iter().map(|c| c.sent).sum()
+    }
+}
+
+/// A fully constructed simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    topology: Topology,
+    brokers: Vec<BrokerState>,
+    subscriptions: Vec<(Subscription, BrokerId)>,
+    global_index: MatchIndex,
+    link_busy: Vec<bool>,
+    link_of: Vec<Vec<Option<LinkId>>>,
+    workload: WorkloadConfig,
+    scheduler: SchedulerConfig,
+    rng: SimRng,
+    events: BinaryHeap<EventEntry>,
+    seq: u64,
+    next_message: u64,
+    end: SimTime,
+    drain_grace: Duration,
+    tracker: ObjectiveTracker,
+    published: u64,
+    transmissions: u64,
+    valid_delays_ms: Summary,
+    now: SimTime,
+}
+
+impl Simulation {
+    /// Builds a simulation over the given topology, workload and scheduler
+    /// configuration. All randomness is derived from `rng`.
+    pub fn new(
+        topology: Topology,
+        workload: WorkloadConfig,
+        scheduler: SchedulerConfig,
+        rng: SimRng,
+    ) -> Self {
+        Self::with_estimation_error(topology, workload, scheduler, rng, EstimationError::NONE)
+    }
+
+    /// Like [`new`](Self::new), but the routing tables, path statistics and
+    /// `FT` estimates are computed from *biased* link parameters while the
+    /// actual transfers still follow the true link model — reproducing a
+    /// system whose bandwidth measurement is systematically wrong (the
+    /// `ablation_estimation` experiment).
+    pub fn with_estimation_error(
+        topology: Topology,
+        workload: WorkloadConfig,
+        scheduler: SchedulerConfig,
+        mut rng: SimRng,
+        estimation_error: EstimationError,
+    ) -> Self {
+        workload.validate().expect("invalid workload");
+        scheduler.validate().expect("invalid scheduler config");
+
+        // The graph the *schedulers believe in*: identical structure, link
+        // rate parameters perturbed by the estimation error. Link identifiers
+        // are preserved because links are re-added in the original order.
+        let believed_graph = if estimation_error.is_none() {
+            topology.graph.clone()
+        } else {
+            let mut g = bdps_overlay::graph::OverlayGraph::new();
+            for b in topology.graph.brokers() {
+                g.add_broker(b.layer);
+            }
+            for l in topology.graph.links() {
+                let believed = estimation_error.apply(l.quality.rate_distribution());
+                let quality = bdps_net::link::LinkQuality::new(
+                    bdps_net::bandwidth::NormalRate::new(
+                        believed.mean().max(0.01),
+                        believed.std_dev(),
+                    ),
+                )
+                .with_propagation(l.quality.propagation);
+                g.add_link(l.from, l.to, quality);
+            }
+            g
+        };
+
+        let routing = Routing::compute(&believed_graph);
+
+        // Subscription population: one subscription per subscriber.
+        let mut subscriptions = Vec::with_capacity(topology.subscribers.len());
+        for (i, (subscriber, broker)) in topology.subscribers.iter().enumerate() {
+            let sub = workload.generate_subscription(
+                SubscriptionId::new(i as u32),
+                *subscriber,
+                &mut rng,
+            );
+            subscriptions.push((sub, *broker));
+        }
+
+        // Per-broker subscription tables and broker state machines, both built
+        // from the believed graph (what measurement reports), while actual
+        // transfer times are sampled from the true graph below.
+        let tables = SubscriptionTable::build_all(&believed_graph, &routing, &subscriptions);
+        let brokers: Vec<BrokerState> = tables
+            .into_iter()
+            .map(|table| {
+                BrokerState::from_overlay(&believed_graph, table.broker(), table, scheduler)
+            })
+            .collect();
+
+        // Global filter index used to count ts_i at publication time.
+        let global_index = MatchIndex::from_subscriptions(
+            subscriptions.iter().map(|(s, _)| (s.id, &s.filter)),
+        );
+
+        // Link bookkeeping.
+        let n = topology.graph.broker_count();
+        let mut link_of = vec![vec![None; n]; n];
+        for l in topology.graph.links() {
+            link_of[l.from.index()][l.to.index()] = Some(l.id);
+        }
+        let link_busy = vec![false; topology.graph.link_count()];
+
+        let end = SimTime::ZERO + workload.duration;
+        let mut sim = Simulation {
+            topology,
+            brokers,
+            subscriptions,
+            global_index,
+            link_busy,
+            link_of,
+            workload,
+            scheduler,
+            rng,
+            events: BinaryHeap::new(),
+            seq: 0,
+            next_message: 0,
+            end,
+            drain_grace: Duration::from_secs(120),
+            tracker: ObjectiveTracker::new(),
+            published: 0,
+            transmissions: 0,
+            valid_delays_ms: Summary::new(),
+            now: SimTime::ZERO,
+        };
+
+        // Seed the publishers.
+        let publishers: Vec<PublisherId> =
+            sim.topology.publishers.iter().map(|(p, _)| *p).collect();
+        for p in publishers {
+            sim.schedule_next_publication(p, SimTime::ZERO);
+        }
+        sim
+    }
+
+    /// Sets how long after the publication period the simulator keeps
+    /// processing in-flight messages (default two minutes).
+    pub fn with_drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
+
+    /// The subscription population of this run.
+    pub fn subscriptions(&self) -> &[(Subscription, BrokerId)] {
+        &self.subscriptions
+    }
+
+    /// The scheduler configuration of this run.
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(EventEntry {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn schedule_next_publication(&mut self, publisher: PublisherId, after: SimTime) {
+        let Some(gap) = self.workload.next_publication_gap(&mut self.rng) else {
+            return; // zero publishing rate
+        };
+        let t = after + gap;
+        if t < self.end {
+            self.push_event(t, EventKind::Publish { publisher });
+        }
+    }
+
+    fn link_between(&self, from: BrokerId, to: BrokerId) -> Option<LinkId> {
+        self.link_of[from.index()][to.index()]
+    }
+
+    /// Runs the simulation to completion and returns the outcome.
+    pub fn run(mut self) -> SimulationOutcome {
+        let hard_stop = self.end + self.drain_grace;
+        while let Some(entry) = self.events.pop() {
+            if entry.time > hard_stop {
+                break;
+            }
+            self.now = entry.time;
+            match entry.kind {
+                EventKind::Publish { publisher } => self.on_publish(publisher, entry.time),
+                EventKind::Process {
+                    broker,
+                    message,
+                    scope,
+                } => self.on_process(broker, message, scope, entry.time),
+                EventKind::SendComplete {
+                    link,
+                    message,
+                    scope,
+                } => self.on_send_complete(link, message, scope, entry.time),
+            }
+        }
+        SimulationOutcome {
+            tracker: self.tracker,
+            broker_counters: self.brokers.iter().map(|b| b.counters).collect(),
+            published: self.published,
+            transmissions: self.transmissions,
+            valid_delays_ms: self.valid_delays_ms,
+            finished_at: self.now,
+        }
+    }
+
+    fn on_publish(&mut self, publisher: PublisherId, time: SimTime) {
+        let Some(broker) = self.topology.publisher_broker(publisher) else {
+            return;
+        };
+        let id = MessageId::new(self.next_message);
+        self.next_message += 1;
+        let message = Arc::new(
+            self.workload
+                .generate_message(id, publisher, time, &mut self.rng),
+        );
+        self.published += 1;
+
+        // ts_i: how many subscribers are interested in this message.
+        let interested = self.global_index.matching(&message.head).len() as u32;
+        self.tracker.register_message(id, interested);
+
+        // Hand the message to the attached broker; processing takes PD.
+        let done = time + self.scheduler.processing_delay;
+        self.push_event(
+            done,
+            EventKind::Process {
+                broker,
+                message,
+                scope: None,
+            },
+        );
+        self.schedule_next_publication(publisher, time);
+    }
+
+    fn on_process(
+        &mut self,
+        broker: BrokerId,
+        message: Arc<Message>,
+        scope: Option<Vec<SubscriptionId>>,
+        time: SimTime,
+    ) {
+        let outcome = self.brokers[broker.index()].handle_arrival_scoped(
+            Arc::clone(&message),
+            time,
+            scope.as_deref(),
+        );
+        for d in &outcome.local {
+            self.tracker
+                .record_delivery(message.id, d.subscriber, d.price, d.delay, d.on_time);
+            if d.on_time {
+                self.valid_delays_ms.observe(d.delay.as_millis_f64());
+            }
+        }
+        for neighbor in outcome.enqueued_to {
+            self.try_send(broker, neighbor, time);
+        }
+    }
+
+    fn on_send_complete(
+        &mut self,
+        link: LinkId,
+        message: Arc<Message>,
+        scope: Vec<SubscriptionId>,
+        time: SimTime,
+    ) {
+        let (from, to) = {
+            let l = self.topology.graph.link(link);
+            (l.from, l.to)
+        };
+        self.link_busy[link.index()] = false;
+        // The copy arrives at the downstream broker; processing takes PD.
+        let done = time + self.scheduler.processing_delay;
+        self.push_event(
+            done,
+            EventKind::Process {
+                broker: to,
+                message,
+                scope: Some(scope),
+            },
+        );
+        // Keep the link busy with the next scheduled message, if any.
+        self.try_send(from, to, time);
+    }
+
+    fn try_send(&mut self, from: BrokerId, to: BrokerId, now: SimTime) {
+        let Some(link) = self.link_between(from, to) else {
+            return;
+        };
+        if self.link_busy[link.index()] {
+            return;
+        }
+        let decision = self.brokers[from.index()].next_to_send(to, now);
+        let Some(queued) = decision.message else {
+            return;
+        };
+        let transfer = {
+            let l = self.topology.graph.link(link);
+            l.quality
+                .sample_transfer(queued.message.size_kb, &mut self.rng)
+        };
+        self.link_busy[link.index()] = true;
+        self.transmissions += 1;
+        let scope: Vec<SubscriptionId> =
+            queued.targets.iter().map(|t| t.subscription).collect();
+        self.push_event(
+            now + transfer,
+            EventKind::SendComplete {
+                link,
+                message: queued.message,
+                scope,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalKind, Scenario};
+    use bdps_core::config::StrategyKind;
+    use bdps_net::bandwidth::FixedRate;
+    use bdps_net::link::LinkQuality;
+    use bdps_overlay::topology::LayeredMeshConfig;
+    use bdps_types::id::SubscriberId;
+
+    fn fast_quality(_rng: &mut SimRng) -> LinkQuality {
+        // 10 ms/KB -> a 50 KB message takes 500 ms per hop.
+        LinkQuality::new(FixedRate::new(10.0))
+    }
+
+    fn small_topology(seed: u64) -> Topology {
+        Topology::layered_mesh(
+            &LayeredMeshConfig::small(),
+            &mut SimRng::seed_from(seed),
+            fast_quality,
+        )
+        .unwrap()
+    }
+
+    fn short_workload(scenario: Scenario, rate: f64) -> WorkloadConfig {
+        let mut w = match scenario {
+            Scenario::SubscriberSpecified => WorkloadConfig::paper_ssd(rate),
+            _ => WorkloadConfig::paper_psd(rate),
+        };
+        w.scenario = scenario;
+        w.duration = Duration::from_secs(300);
+        w.arrivals = ArrivalKind::Deterministic;
+        w
+    }
+
+    #[test]
+    fn uncongested_run_delivers_almost_everything() {
+        let topo = small_topology(1);
+        let workload = short_workload(Scenario::PublisherSpecified, 4.0);
+        let sim = Simulation::new(
+            topo,
+            workload,
+            SchedulerConfig::paper(StrategyKind::MaxEb),
+            SimRng::seed_from(2),
+        );
+        let out = sim.run();
+        assert!(out.published > 0);
+        assert!(out.tracker.total_interested() > 0);
+        let rate = out.tracker.delivery_rate();
+        assert!(
+            rate > 0.95,
+            "expected near-perfect delivery on an idle network, got {rate}"
+        );
+        assert!(out.message_number() > out.published);
+        assert!(out.transmissions > 0);
+        assert_eq!(out.dropped_expired() + out.dropped_unlikely(), 0);
+        assert!(out.valid_delays_ms.count() > 0);
+        assert!(out.valid_delays_ms.mean() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_given_seed() {
+        let run = |seed: u64| {
+            let topo = small_topology(seed);
+            let workload = short_workload(Scenario::SubscriberSpecified, 6.0);
+            Simulation::new(
+                topo,
+                workload,
+                SchedulerConfig::paper(StrategyKind::MaxEbpc),
+                SimRng::seed_from(seed),
+            )
+            .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.published, b.published);
+        assert_eq!(a.message_number(), b.message_number());
+        assert_eq!(a.tracker.total_on_time(), b.tracker.total_on_time());
+        assert_eq!(
+            a.tracker.total_earning().millis(),
+            b.tracker.total_earning().millis()
+        );
+        let c = run(8);
+        assert_ne!(
+            (a.published, a.tracker.total_on_time()),
+            (c.published, c.tracker.total_on_time()),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn zero_rate_produces_no_traffic() {
+        let topo = small_topology(3);
+        let workload = short_workload(Scenario::PublisherSpecified, 0.0);
+        let out = Simulation::new(
+            topo,
+            workload,
+            SchedulerConfig::paper(StrategyKind::Fifo),
+            SimRng::seed_from(4),
+        )
+        .run();
+        assert_eq!(out.published, 0);
+        assert_eq!(out.message_number(), 0);
+        assert_eq!(out.tracker.delivery_rate(), 0.0);
+    }
+
+    #[test]
+    fn ssd_earning_is_positive_and_bounded_by_perfect_delivery() {
+        let topo = small_topology(5);
+        let workload = short_workload(Scenario::SubscriberSpecified, 6.0);
+        let out = Simulation::new(
+            topo,
+            workload,
+            SchedulerConfig::paper(StrategyKind::MaxEb),
+            SimRng::seed_from(6),
+        )
+        .run();
+        let earning = out.tracker.total_earning().as_f64();
+        assert!(earning > 0.0);
+        // Perfect delivery would earn at most 3 units per interested pair.
+        let upper = 3.0 * out.tracker.total_interested() as f64;
+        assert!(earning <= upper);
+        // Every on-time delivery is also counted in the delivery-rate bookkeeping.
+        assert!(out.tracker.total_on_time() > 0);
+        assert!(out.tracker.delivery_rate() <= 1.0);
+    }
+
+    #[test]
+    fn no_duplicate_deliveries_per_subscriber_and_message() {
+        // With scoped forwarding each (message, subscriber) pair is delivered
+        // at most once, so on-time + late deliveries never exceed interested
+        // pairs (ts_i counts exactly the matching subscribers).
+        let topo = small_topology(9);
+        let workload = short_workload(Scenario::PublisherSpecified, 8.0);
+        let out = Simulation::new(
+            topo,
+            workload,
+            SchedulerConfig::paper(StrategyKind::Fifo),
+            SimRng::seed_from(10),
+        )
+        .run();
+        let delivered = out.tracker.total_on_time() + out.tracker.total_late();
+        assert!(
+            delivered <= out.tracker.total_interested(),
+            "delivered {delivered} > interested {}",
+            out.tracker.total_interested()
+        );
+    }
+
+    #[test]
+    fn congestion_lowers_delivery_rate_and_eb_beats_fifo() {
+        // Slow links + high rate -> congestion. EB should deliver at least as
+        // much as FIFO (usually strictly more).
+        let slow_quality =
+            |_rng: &mut SimRng| LinkQuality::new(FixedRate::new(80.0));
+        let make = |strategy| {
+            let topo = Topology::layered_mesh(
+                &LayeredMeshConfig::small(),
+                &mut SimRng::seed_from(11),
+                slow_quality,
+            )
+            .unwrap();
+            let mut w = WorkloadConfig::paper_psd(12.0);
+            w.duration = Duration::from_secs(600);
+            Simulation::new(
+                topo,
+                w,
+                SchedulerConfig::paper(strategy),
+                SimRng::seed_from(12),
+            )
+            .run()
+        };
+        let eb = make(StrategyKind::MaxEb);
+        let fifo = make(StrategyKind::Fifo);
+        assert!(eb.tracker.delivery_rate() < 1.0, "there should be congestion");
+        assert!(
+            eb.tracker.delivery_rate() >= fifo.tracker.delivery_rate(),
+            "EB {} should not be worse than FIFO {}",
+            eb.tracker.delivery_rate(),
+            fifo.tracker.delivery_rate()
+        );
+    }
+
+    #[test]
+    fn subscription_population_matches_subscribers() {
+        let topo = small_topology(13);
+        let n_subs = topo.subscribers.len();
+        let workload = short_workload(Scenario::SubscriberSpecified, 1.0);
+        let sim = Simulation::new(
+            topo,
+            workload,
+            SchedulerConfig::paper(StrategyKind::MaxPc),
+            SimRng::seed_from(14),
+        );
+        assert_eq!(sim.subscriptions().len(), n_subs);
+        assert_eq!(sim.scheduler().strategy, StrategyKind::MaxPc);
+        // Each subscription belongs to a distinct subscriber.
+        let mut seen = std::collections::HashSet::new();
+        for (s, _) in sim.subscriptions() {
+            assert!(seen.insert(s.subscriber));
+        }
+        assert!(seen.contains(&SubscriberId::new(0)));
+    }
+}

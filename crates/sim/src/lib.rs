@@ -1,0 +1,37 @@
+//! # bdps-sim
+//!
+//! The discrete-event simulator that reproduces the paper's evaluation
+//! (§6): it builds an overlay topology, populates publishers and subscribers
+//! according to the workload description of §6.1, drives every broker's
+//! [`bdps_core::BrokerState`] through publish / arrival / transmission
+//! events, and reports the paper's three metrics — delivery rate, total
+//! earning and message number.
+//!
+//! * [`workload`] — workload configuration and generators (publishing rate,
+//!   message heads, subscription filters, PSD/SSD delay requirements);
+//! * [`engine`] — the event-driven simulation core (event queue, link
+//!   occupancy, broker driving, objective tracking);
+//! * [`runner`] — one-call experiment execution plus parallel parameter
+//!   sweeps across strategies, rates and seeds;
+//! * [`report`] — result records and Markdown/CSV rendering helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use engine::{Simulation, SimulationOutcome};
+pub use report::{render_csv, render_markdown_table, SimulationReport};
+pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
+pub use workload::{ArrivalKind, Scenario, WorkloadConfig};
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::engine::{Simulation, SimulationOutcome};
+    pub use crate::report::{render_csv, render_markdown_table, SimulationReport};
+    pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
+    pub use crate::workload::{ArrivalKind, Scenario, WorkloadConfig};
+}

@@ -1,0 +1,171 @@
+//! Result records and rendering helpers.
+
+use bdps_core::config::StrategyKind;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SimulationOutcome;
+use crate::workload::{Scenario, WorkloadConfig};
+
+/// The flat record an experiment binary prints for one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Strategy label ("EB", "PC", "EBPC", "FIFO", "RL").
+    pub strategy: String,
+    /// Scenario label ("PSD", "SSD", ...).
+    pub scenario: String,
+    /// Publishing rate (messages per publisher per minute).
+    pub publishing_rate: f64,
+    /// The EBPC weight `r` (only meaningful for the EBPC strategy).
+    pub ebpc_weight: f64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Number of messages published.
+    pub published: u64,
+    /// Σ ts_i — interested (message, subscriber) pairs.
+    pub interested: u64,
+    /// Σ ds_i — on-time deliveries.
+    pub on_time: u64,
+    /// Deliveries that arrived after their bound.
+    pub late: u64,
+    /// The delivery rate of eq. (1).
+    pub delivery_rate: f64,
+    /// The total earning of eq. (2), in price units.
+    pub total_earning: f64,
+    /// The paper's "message number": total messages received by all brokers.
+    pub message_number: u64,
+    /// Copies dropped because they expired.
+    pub dropped_expired: u64,
+    /// Copies dropped by the ε test (eq. 11).
+    pub dropped_unlikely: u64,
+    /// Link transmissions performed.
+    pub transmissions: u64,
+    /// Mean end-to-end delay of on-time deliveries, in ms.
+    pub mean_valid_delay_ms: f64,
+}
+
+impl SimulationReport {
+    /// Builds a report from a finished simulation.
+    pub fn from_outcome(
+        outcome: &SimulationOutcome,
+        strategy: StrategyKind,
+        ebpc_weight: f64,
+        scenario: Scenario,
+        workload: &WorkloadConfig,
+        seed: u64,
+    ) -> Self {
+        SimulationReport {
+            strategy: strategy.label().to_owned(),
+            scenario: scenario.label().to_owned(),
+            publishing_rate: workload.publishing_rate_per_min,
+            ebpc_weight,
+            seed,
+            published: outcome.published,
+            interested: outcome.tracker.total_interested(),
+            on_time: outcome.tracker.total_on_time(),
+            late: outcome.tracker.total_late(),
+            delivery_rate: outcome.tracker.delivery_rate(),
+            total_earning: outcome.tracker.total_earning().as_f64(),
+            message_number: outcome.message_number(),
+            dropped_expired: outcome.dropped_expired(),
+            dropped_unlikely: outcome.dropped_unlikely(),
+            transmissions: outcome.transmissions,
+            mean_valid_delay_ms: outcome.valid_delays_ms.mean(),
+        }
+    }
+
+    /// Delivery rate in percent (how the paper's Fig. 4b/6a axis is labelled).
+    pub fn delivery_rate_percent(&self) -> f64 {
+        self.delivery_rate * 100.0
+    }
+
+    /// Earning in thousands (how the paper's Fig. 4a/5a axis is labelled).
+    pub fn earning_k(&self) -> f64 {
+        self.total_earning / 1_000.0
+    }
+
+    /// Message number in thousands (Fig. 5b/6b axis).
+    pub fn message_number_k(&self) -> f64 {
+        self.message_number as f64 / 1_000.0
+    }
+}
+
+/// Renders rows as a GitHub-flavoured Markdown table.
+pub fn render_markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — intended for plain numeric tables).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let rows = vec![
+            vec!["3".to_string(), "70.1".to_string(), "69.9".to_string()],
+            vec!["6".to_string(), "65.0".to_string(), "55.2".to_string()],
+        ];
+        let t = render_markdown_table(&["rate", "EB", "FIFO"], &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| rate | EB | FIFO |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert!(lines[2].starts_with("| 3 |"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let c = render_csv(&["a", "b"], &rows);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn report_unit_conversions() {
+        let r = SimulationReport {
+            strategy: "EB".into(),
+            scenario: "SSD".into(),
+            publishing_rate: 10.0,
+            ebpc_weight: 0.5,
+            seed: 1,
+            published: 100,
+            interested: 400,
+            on_time: 200,
+            late: 20,
+            delivery_rate: 0.5,
+            total_earning: 150_000.0,
+            message_number: 120_000,
+            dropped_expired: 5,
+            dropped_unlikely: 7,
+            transmissions: 90_000,
+            mean_valid_delay_ms: 4_200.0,
+        };
+        assert_eq!(r.delivery_rate_percent(), 50.0);
+        assert_eq!(r.earning_k(), 150.0);
+        assert_eq!(r.message_number_k(), 120.0);
+    }
+}

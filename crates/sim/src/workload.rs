@@ -1,0 +1,365 @@
+//! Workload configuration and generators (§6.1).
+
+use bdps_filter::filter::Filter;
+use bdps_filter::predicate::Predicate;
+use bdps_filter::subscription::Subscription;
+use bdps_stats::rng::SimRng;
+use bdps_types::error::{BdpsError, Result};
+use bdps_types::id::{MessageId, PublisherId, SubscriberId, SubscriptionId};
+use bdps_types::message::{Message, MessageHead};
+use bdps_types::qos::{DelayBound, QosClass};
+use bdps_types::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which side specifies the delay requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Publisher-specified delay (PSD): each message carries a bound drawn
+    /// uniformly from the configured range; subscriptions are best effort.
+    PublisherSpecified,
+    /// Subscriber-specified delay (SSD): each subscription carries a QoS
+    /// class (delay bound + price); messages carry no bound.
+    SubscriberSpecified,
+    /// Both sides specify bounds (the paper's "easily extended" case).
+    Combined,
+    /// No bounds at all.
+    BestEffort,
+}
+
+impl Scenario {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::PublisherSpecified => "PSD",
+            Scenario::SubscriberSpecified => "SSD",
+            Scenario::Combined => "PSD+SSD",
+            Scenario::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// How publication instants are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Poisson process at the configured rate (default reading of
+    /// "continuously publishes messages at a certain rate").
+    Poisson,
+    /// Evenly spaced publications.
+    Deterministic,
+}
+
+/// The workload of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// The delay-requirement scenario.
+    pub scenario: Scenario,
+    /// Messages published per publisher per minute (the paper's x-axis).
+    pub publishing_rate_per_min: f64,
+    /// Length of the publication period (2 hours in the paper).
+    pub duration: Duration,
+    /// Message size in KB (50 in the paper).
+    pub message_size_kb: f64,
+    /// Number of head attributes (`A1..An`; 2 in the paper).
+    pub num_attributes: usize,
+    /// Range attribute values (and filter thresholds) are drawn from ((0, 10)).
+    pub attribute_range: (f64, f64),
+    /// PSD: the range the per-message allowed delay is drawn from, in seconds
+    /// ([10, 30] in the paper).
+    pub psd_delay_range_secs: (f64, f64),
+    /// SSD: the QoS classes subscriptions are drawn from uniformly
+    /// ({10 s/3, 30 s/2, 60 s/1} in the paper).
+    pub ssd_classes: Vec<QosClass>,
+    /// The arrival process.
+    pub arrivals: ArrivalKind,
+}
+
+impl WorkloadConfig {
+    /// The paper's PSD workload at the given publishing rate.
+    pub fn paper_psd(publishing_rate_per_min: f64) -> Self {
+        WorkloadConfig {
+            scenario: Scenario::PublisherSpecified,
+            publishing_rate_per_min,
+            duration: Duration::from_secs(2 * 3600),
+            message_size_kb: 50.0,
+            num_attributes: 2,
+            attribute_range: (0.0, 10.0),
+            psd_delay_range_secs: (10.0, 30.0),
+            ssd_classes: QosClass::paper_tiers().to_vec(),
+            arrivals: ArrivalKind::Poisson,
+        }
+    }
+
+    /// The paper's SSD workload at the given publishing rate.
+    pub fn paper_ssd(publishing_rate_per_min: f64) -> Self {
+        WorkloadConfig {
+            scenario: Scenario::SubscriberSpecified,
+            ..Self::paper_psd(publishing_rate_per_min)
+        }
+    }
+
+    /// Shrinks the run to the given duration (useful for tests and smoke runs).
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Validates the workload.
+    pub fn validate(&self) -> Result<()> {
+        if self.publishing_rate_per_min < 0.0 || !self.publishing_rate_per_min.is_finite() {
+            return Err(BdpsError::InvalidConfig(
+                "publishing rate must be non-negative".into(),
+            ));
+        }
+        if self.message_size_kb <= 0.0 {
+            return Err(BdpsError::InvalidConfig(
+                "message size must be positive".into(),
+            ));
+        }
+        if self.num_attributes == 0 {
+            return Err(BdpsError::InvalidConfig(
+                "at least one attribute is required".into(),
+            ));
+        }
+        if self.attribute_range.1 <= self.attribute_range.0 {
+            return Err(BdpsError::InvalidConfig(
+                "attribute range must be non-empty".into(),
+            ));
+        }
+        if self.psd_delay_range_secs.1 < self.psd_delay_range_secs.0 {
+            return Err(BdpsError::InvalidConfig(
+                "PSD delay range must be ordered".into(),
+            ));
+        }
+        if self.scenario == Scenario::SubscriberSpecified && self.ssd_classes.is_empty() {
+            return Err(BdpsError::InvalidConfig(
+                "SSD scenario requires at least one QoS class".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The attribute name of index `i` (`A1`, `A2`, ...).
+    pub fn attribute_name(i: usize) -> String {
+        format!("A{}", i + 1)
+    }
+
+    /// Generates a message head with uniformly drawn attribute values.
+    pub fn generate_head(&self, rng: &mut SimRng) -> MessageHead {
+        let mut head = MessageHead::with_capacity(self.num_attributes);
+        for i in 0..self.num_attributes {
+            let v = rng.uniform_range(self.attribute_range.0, self.attribute_range.1);
+            head.set(Self::attribute_name(i).as_str(), v);
+        }
+        head
+    }
+
+    /// Generates one message published at `publish_time` by `publisher`.
+    pub fn generate_message(
+        &self,
+        id: MessageId,
+        publisher: PublisherId,
+        publish_time: SimTime,
+        rng: &mut SimRng,
+    ) -> Message {
+        let mut builder = Message::builder(id, publisher)
+            .publish_time(publish_time)
+            .size_kb(self.message_size_kb)
+            .head(self.generate_head(rng));
+        if matches!(
+            self.scenario,
+            Scenario::PublisherSpecified | Scenario::Combined
+        ) {
+            let secs =
+                rng.uniform_range(self.psd_delay_range_secs.0, self.psd_delay_range_secs.1);
+            builder = builder.publisher_bound(DelayBound::new(Duration::from_secs_f64(secs)));
+        }
+        builder.build()
+    }
+
+    /// Generates the subscription of one subscriber: the paper's conjunction
+    /// `A1 < x1 ∧ ... ∧ An < xn` with uniform thresholds, plus the QoS class
+    /// demanded by the scenario.
+    pub fn generate_subscription(
+        &self,
+        id: SubscriptionId,
+        subscriber: SubscriberId,
+        rng: &mut SimRng,
+    ) -> Subscription {
+        let mut predicates = Vec::with_capacity(self.num_attributes);
+        for i in 0..self.num_attributes {
+            let threshold =
+                rng.uniform_range(self.attribute_range.0, self.attribute_range.1);
+            predicates.push(Predicate::lt(
+                Self::attribute_name(i).as_str(),
+                threshold,
+            ));
+        }
+        let filter = Filter::new(predicates);
+        match self.scenario {
+            Scenario::SubscriberSpecified | Scenario::Combined => {
+                let class = *rng.choose(&self.ssd_classes);
+                Subscription::with_qos(id, subscriber, filter, class)
+            }
+            Scenario::PublisherSpecified | Scenario::BestEffort => {
+                Subscription::best_effort(id, subscriber, filter)
+            }
+        }
+    }
+
+    /// The mean gap between publications of one publisher.
+    pub fn mean_publication_gap(&self) -> Option<Duration> {
+        if self.publishing_rate_per_min <= 0.0 {
+            None
+        } else {
+            Some(Duration::from_secs_f64(
+                60.0 / self.publishing_rate_per_min,
+            ))
+        }
+    }
+
+    /// Draws the gap until a publisher's next publication.
+    pub fn next_publication_gap(&self, rng: &mut SimRng) -> Option<Duration> {
+        let mean = self.mean_publication_gap()?;
+        match self.arrivals {
+            ArrivalKind::Deterministic => Some(mean),
+            ArrivalKind::Poisson => Some(Duration::from_secs_f64(
+                rng.exponential(1.0 / mean.as_secs_f64()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdps_types::money::Price;
+
+    #[test]
+    fn paper_workloads_validate() {
+        assert!(WorkloadConfig::paper_psd(10.0).validate().is_ok());
+        assert!(WorkloadConfig::paper_ssd(15.0).validate().is_ok());
+        assert_eq!(WorkloadConfig::paper_psd(1.0).scenario.label(), "PSD");
+        assert_eq!(WorkloadConfig::paper_ssd(1.0).scenario.label(), "SSD");
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected() {
+        let mut w = WorkloadConfig::paper_psd(10.0);
+        w.publishing_rate_per_min = -1.0;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadConfig::paper_psd(10.0);
+        w.message_size_kb = 0.0;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadConfig::paper_ssd(10.0);
+        w.ssd_classes.clear();
+        assert!(w.validate().is_err());
+        let mut w = WorkloadConfig::paper_psd(10.0);
+        w.attribute_range = (5.0, 5.0);
+        assert!(w.validate().is_err());
+        let mut w = WorkloadConfig::paper_psd(10.0);
+        w.num_attributes = 0;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn generated_heads_match_the_paper_format() {
+        let w = WorkloadConfig::paper_psd(10.0);
+        let mut rng = SimRng::seed_from(1);
+        let head = w.generate_head(&mut rng);
+        assert_eq!(head.len(), 2);
+        for name in ["A1", "A2"] {
+            let v = head.get(name).unwrap().as_f64().unwrap();
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn psd_messages_carry_bounds_in_range() {
+        let w = WorkloadConfig::paper_psd(10.0);
+        let mut rng = SimRng::seed_from(2);
+        for i in 0..100u64 {
+            let m = w.generate_message(
+                MessageId::new(i),
+                PublisherId::new(0),
+                SimTime::from_secs(i),
+                &mut rng,
+            );
+            let bound = m.publisher_bound.unwrap().duration().as_secs_f64();
+            assert!((10.0..30.0).contains(&bound), "bound = {bound}");
+            assert_eq!(m.size_kb, 50.0);
+        }
+    }
+
+    #[test]
+    fn ssd_messages_have_no_bound_but_subscriptions_do() {
+        let w = WorkloadConfig::paper_ssd(10.0);
+        let mut rng = SimRng::seed_from(3);
+        let m = w.generate_message(
+            MessageId::new(1),
+            PublisherId::new(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(m.publisher_bound.is_none());
+        let mut seen_prices = std::collections::HashSet::new();
+        for i in 0..200u32 {
+            let s =
+                w.generate_subscription(SubscriptionId::new(i), SubscriberId::new(i), &mut rng);
+            assert!(s.is_delay_bounded());
+            seen_prices.insert(s.price.millis());
+            assert_eq!(s.filter.len(), 2);
+        }
+        // All three paper tiers show up.
+        assert!(seen_prices.contains(&Price::from_units(1).millis()));
+        assert!(seen_prices.contains(&Price::from_units(2).millis()));
+        assert!(seen_prices.contains(&Price::from_units(3).millis()));
+    }
+
+    #[test]
+    fn psd_subscriptions_are_best_effort_unit_price() {
+        let w = WorkloadConfig::paper_psd(10.0);
+        let mut rng = SimRng::seed_from(4);
+        let s = w.generate_subscription(SubscriptionId::new(0), SubscriberId::new(0), &mut rng);
+        assert!(!s.is_delay_bounded());
+        assert_eq!(s.price, Price::unit());
+    }
+
+    #[test]
+    fn combined_scenario_has_both_bounds() {
+        let mut w = WorkloadConfig::paper_psd(10.0);
+        w.scenario = Scenario::Combined;
+        let mut rng = SimRng::seed_from(5);
+        let m = w.generate_message(
+            MessageId::new(1),
+            PublisherId::new(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(m.publisher_bound.is_some());
+        let s = w.generate_subscription(SubscriptionId::new(0), SubscriberId::new(0), &mut rng);
+        assert!(s.is_delay_bounded());
+    }
+
+    #[test]
+    fn publication_gaps_follow_the_rate() {
+        let w = WorkloadConfig::paper_psd(6.0); // every 10 s on average
+        let mut rng = SimRng::seed_from(6);
+        assert_eq!(w.mean_publication_gap(), Some(Duration::from_secs(10)));
+        let n = 5_000;
+        let mean: f64 = (0..n)
+            .map(|_| w.next_publication_gap(&mut rng).unwrap().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean = {mean}");
+
+        let mut det = w.clone();
+        det.arrivals = ArrivalKind::Deterministic;
+        assert_eq!(
+            det.next_publication_gap(&mut rng),
+            Some(Duration::from_secs(10))
+        );
+
+        let zero = WorkloadConfig::paper_psd(0.0);
+        assert_eq!(zero.next_publication_gap(&mut rng), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Online estimators of mean and variance.
+//!
+//! The paper assumes that "each broker estimates the parameters of the
+//! probability distribution of the transmission rate to each neighbor by some
+//! tools of network measurement" (§3.2). The network substrate feeds observed
+//! per-KB transfer times into these estimators; the scheduler then works with
+//! the *estimated* `N(μ̂, σ̂²)` rather than the true link parameters.
+//!
+//! Three estimators are provided:
+//! * [`WelfordEstimator`] — numerically stable running mean/variance over the
+//!   whole history (the default);
+//! * [`EwmaEstimator`] — exponentially weighted, for links whose quality
+//!   drifts over time;
+//! * [`SlidingWindowEstimator`] — exact mean/variance over the last `w`
+//!   observations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Welford's online algorithm for running mean and (unbiased) variance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WelfordEstimator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WelfordEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another estimator into this one (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &WelfordEstimator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Exponentially weighted moving average estimator of mean and variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwmaEstimator {
+    alpha: f64,
+    mean: Option<f64>,
+    variance: f64,
+    count: u64,
+}
+
+impl EwmaEstimator {
+    /// Creates an estimator with smoothing factor `alpha` in `(0, 1]`; larger
+    /// values react faster to change.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaEstimator {
+            alpha,
+            mean: None,
+            variance: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        match self.mean {
+            None => {
+                self.mean = Some(x);
+                self.variance = 0.0;
+            }
+            Some(m) => {
+                let delta = x - m;
+                let new_mean = m + self.alpha * delta;
+                // West (1979) incremental EWMA variance update.
+                self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * delta * delta);
+                self.mean = Some(new_mean);
+            }
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean estimate (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean.unwrap_or(0.0)
+    }
+
+    /// Current variance estimate.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Current standard-deviation estimate.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Exact mean/variance over the most recent `window` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindowEstimator {
+    window: usize,
+    values: VecDeque<f64>,
+}
+
+impl SlidingWindowEstimator {
+    /// Creates an estimator keeping the last `window` observations (`window ≥ 1`).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        SlidingWindowEstimator {
+            window,
+            values: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Adds one observation, evicting the oldest if the window is full.
+    pub fn observe(&mut self, x: f64) {
+        if self.values.len() == self.window {
+            self.values.pop_front();
+        }
+        self.values.push_back(x);
+    }
+
+    /// Number of observations currently held (≤ window).
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Unbiased variance of the window (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    }
+
+    /// Standard deviation of the window.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut est = WelfordEstimator::new();
+        for &x in &data {
+            est.observe(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((est.mean() - mean).abs() < 1e-12);
+        assert!((est.variance() - var).abs() < 1e-12);
+        assert_eq!(est.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut est = WelfordEstimator::new();
+        assert_eq!(est.mean(), 0.0);
+        assert_eq!(est.variance(), 0.0);
+        est.observe(3.0);
+        assert_eq!(est.mean(), 3.0);
+        assert_eq!(est.variance(), 0.0);
+        assert_eq!(est.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut rng = SimRng::seed_from(3);
+        let data: Vec<f64> = (0..1_000).map(|_| rng.uniform_range(0.0, 10.0)).collect();
+        let mut whole = WelfordEstimator::new();
+        for &x in &data {
+            whole.observe(x);
+        }
+        let mut left = WelfordEstimator::new();
+        let mut right = WelfordEstimator::new();
+        for &x in &data[..400] {
+            left.observe(x);
+        }
+        for &x in &data[400..] {
+            right.observe(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+
+        // Merging an empty estimator is a no-op in both directions.
+        let mut empty = WelfordEstimator::new();
+        empty.merge(&whole);
+        assert!((empty.mean() - whole.mean()).abs() < 1e-12);
+        let mut whole2 = whole.clone();
+        whole2.merge(&WelfordEstimator::new());
+        assert!((whole2.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_converges_to_true_parameters() {
+        // This is exactly the paper's assumption: measurement converges to the
+        // true N(mu, sigma^2) of the link.
+        let mut rng = SimRng::seed_from(77);
+        let true_dist = crate::normal::Normal::new(75.0, 20.0);
+        let mut est = WelfordEstimator::new();
+        for _ in 0..30_000 {
+            est.observe(true_dist.sample(&mut rng));
+        }
+        assert!((est.mean() - 75.0).abs() < 0.5);
+        assert!((est.std_dev() - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift() {
+        let mut est = EwmaEstimator::new(0.2);
+        for _ in 0..100 {
+            est.observe(10.0);
+        }
+        assert!((est.mean() - 10.0).abs() < 1e-9);
+        for _ in 0..100 {
+            est.observe(20.0);
+        }
+        assert!((est.mean() - 20.0).abs() < 0.1, "mean = {}", est.mean());
+        assert!(est.count() == 200);
+        assert!(est.std_dev() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_bad_alpha() {
+        let _ = EwmaEstimator::new(0.0);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_values() {
+        let mut est = SlidingWindowEstimator::new(3);
+        for x in [1.0, 2.0, 3.0, 100.0, 101.0, 102.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.count(), 3);
+        assert!((est.mean() - 101.0).abs() < 1e-12);
+        assert!((est.variance() - 1.0).abs() < 1e-12);
+        assert!((est.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_partial_fill() {
+        let mut est = SlidingWindowEstimator::new(10);
+        assert_eq!(est.mean(), 0.0);
+        est.observe(4.0);
+        assert_eq!(est.mean(), 4.0);
+        assert_eq!(est.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sliding_window_rejects_zero() {
+        let _ = SlidingWindowEstimator::new(0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Gamma and shifted-gamma distributions.
+//!
+//! The paper's delay model cites Internet measurement studies \[17, 18\]
+//! showing that one-way IP packet delay follows a *shifted gamma*
+//! distribution (a gamma distribution translated by a constant minimum
+//! delay). BDPS ships this distribution so that the network substrate can
+//! offer a per-packet delay model in addition to the per-KB normal rate model
+//! the scheduling strategies use, and so that ablations can swap the two.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Natural logarithm of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise (Numerical Recipes `gammp`).
+pub fn regularized_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        lower_gamma_series(a, x)
+    } else {
+        1.0 - upper_gamma_cf(a, x)
+    }
+}
+
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// A gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaDist {
+    shape: f64,
+    scale: f64,
+}
+
+impl GammaDist {
+    /// Creates a gamma distribution.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite(),
+            "invalid gamma parameters: shape={shape}, scale={scale}"
+        );
+        GammaDist { shape, scale }
+    }
+
+    /// Builds the gamma distribution with the given mean and standard deviation.
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0 && std_dev > 0.0);
+        let shape = (mean / std_dev).powi(2);
+        let scale = std_dev * std_dev / mean;
+        GammaDist::new(shape, scale)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The mean `kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// The variance `kθ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let t = self.scale;
+        ((k - 1.0) * x.ln() - x / t - ln_gamma(k) - k * t.ln()).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        regularized_lower_gamma(self.shape, x / self.scale)
+    }
+
+    /// Draws a sample using the Marsaglia–Tsang method (with the boost to
+    /// shape ≥ 1 for small shapes).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let k = self.shape;
+        if k < 1.0 {
+            // Boost: sample Gamma(k+1) and multiply by U^(1/k).
+            let boosted = GammaDist::new(k + 1.0, 1.0).sample(rng);
+            let u: f64 = loop {
+                let u = rng.uniform();
+                if u > f64::MIN_POSITIVE {
+                    break u;
+                }
+            };
+            return boosted * u.powf(1.0 / k) * self.scale;
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = rng.standard_normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.uniform();
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// A gamma distribution shifted right by a constant minimum value, the model
+/// that Internet measurement studies fit to one-way packet delays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftedGamma {
+    gamma: GammaDist,
+    shift: f64,
+}
+
+impl ShiftedGamma {
+    /// Creates a shifted gamma distribution with the given underlying gamma
+    /// and non-negative shift (the deterministic minimum delay).
+    pub fn new(gamma: GammaDist, shift: f64) -> Self {
+        assert!(shift >= 0.0 && shift.is_finite(), "shift must be >= 0");
+        ShiftedGamma { gamma, shift }
+    }
+
+    /// Fits a shifted gamma from a minimum delay, mean and standard deviation
+    /// (e.g. the cross-Atlantic path of the paper's footnote: mean 108.2 ms,
+    /// σ ≈ 3.08 ms over a ~100 ms propagation floor).
+    pub fn from_min_mean_std(min: f64, mean: f64, std_dev: f64) -> Self {
+        assert!(mean > min, "mean must exceed the minimum delay");
+        ShiftedGamma::new(GammaDist::from_mean_std(mean - min, std_dev), min)
+    }
+
+    /// The underlying (unshifted) gamma distribution.
+    pub fn gamma(&self) -> &GammaDist {
+        &self.gamma
+    }
+
+    /// The shift (minimum possible value).
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// The mean `shift + kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shift + self.gamma.mean()
+    }
+
+    /// The variance (unchanged by the shift).
+    pub fn variance(&self) -> f64 {
+        self.gamma.variance()
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.gamma.pdf(x - self.shift)
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.gamma.cdf(x - self.shift)
+    }
+
+    /// Draws a sample (always ≥ shift).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.shift + self.gamma.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Gamma(1) = Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn regularized_gamma_known_values() {
+        // P(1, x) = 1 - exp(-x).
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let expected = 1.0 - (-x as f64).exp();
+            assert!((regularized_lower_gamma(1.0, x) - expected).abs() < 1e-10);
+        }
+        assert_eq!(regularized_lower_gamma(2.0, 0.0), 0.0);
+        // P(a, x) -> 1 for large x.
+        assert!((regularized_lower_gamma(3.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_moments_and_cdf_median() {
+        let g = GammaDist::new(2.0, 3.0);
+        assert!((g.mean() - 6.0).abs() < 1e-12);
+        assert!((g.variance() - 18.0).abs() < 1e-12);
+        // cdf is monotone and hits ~0.5 near the median.
+        assert!(g.cdf(1.0) < g.cdf(5.0));
+        let median_region = g.cdf(5.0351); // known median of Gamma(2, 3) ~ 5.035
+        assert!((median_region - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_mean_std_round_trips() {
+        let g = GammaDist::from_mean_std(8.2, 3.1);
+        assert!((g.mean() - 8.2).abs() < 1e-9);
+        assert!((g.variance().sqrt() - 3.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_sampling_matches_moments() {
+        let g = GammaDist::new(3.0, 2.0);
+        let mut rng = SimRng::seed_from(31);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 12.0).abs() < 0.6, "var = {var}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn small_shape_sampling_is_positive() {
+        let g = GammaDist::new(0.5, 1.0);
+        let mut rng = SimRng::seed_from(37);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn shifted_gamma_models_packet_delay() {
+        // Paper footnote 3: mean one-way delay 108.2 ms, sigma 3.083 ms.
+        let d = ShiftedGamma::from_min_mean_std(100.0, 108.2, 3.083);
+        assert!((d.mean() - 108.2).abs() < 1e-9);
+        assert!((d.variance().sqrt() - 3.083).abs() < 1e-9);
+        assert_eq!(d.cdf(99.0), 0.0);
+        assert!(d.cdf(108.2) > 0.4 && d.cdf(108.2) < 0.7);
+        let mut rng = SimRng::seed_from(41);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) >= 100.0);
+        }
+        assert_eq!(d.shift(), 100.0);
+        assert!(d.pdf(101.0) > 0.0 || d.pdf(101.0) == 0.0);
+        assert!(d.gamma().shape() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gamma_panics() {
+        let _ = GammaDist::new(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # bdps-stats
+//!
+//! The probability / statistics substrate of BDPS. The paper's scheduling
+//! strategies are built entirely on top of a stochastic link model: the
+//! transmission rate of every overlay link is a normal random variable, path
+//! rates are sums of independent normals, and the Expected Benefit of a
+//! message is a sum of normal tail probabilities. This crate provides:
+//!
+//! * special functions ([`erf`]) — error function, complementary error
+//!   function and their inverses, implemented from scratch;
+//! * [`normal`] — the normal distribution (pdf, cdf, quantile, sampling,
+//!   closure under addition and positive scaling, truncation at zero);
+//! * [`gamma`] — the gamma and *shifted* gamma distributions used by the
+//!   paper's Internet-delay citations \[17, 18\];
+//! * [`estimator`] — Welford online mean/variance, EWMA and sliding-window
+//!   estimators used by the simulated bandwidth-measurement tools;
+//! * [`process`] — arrival processes (Poisson, deterministic, uniform-jitter)
+//!   used by workload generators;
+//! * [`rng`] — a seedable, reproducible RNG wrapper shared by all crates;
+//! * [`summary`] — streaming summaries, fixed-bin histograms and confidence
+//!   intervals for reporting simulation results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod erf;
+pub mod estimator;
+pub mod gamma;
+pub mod normal;
+pub mod process;
+pub mod rng;
+pub mod summary;
+
+pub use erf::{erf, erfc, inverse_erf};
+pub use estimator::{EwmaEstimator, SlidingWindowEstimator, WelfordEstimator};
+pub use gamma::{GammaDist, ShiftedGamma};
+pub use normal::Normal;
+pub use process::{ArrivalProcess, DeterministicArrivals, PoissonArrivals, UniformJitterArrivals};
+pub use rng::SimRng;
+pub use summary::{ConfidenceInterval, Histogram, Summary};
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::erf::{erf, erfc, inverse_erf};
+    pub use crate::estimator::{EwmaEstimator, SlidingWindowEstimator, WelfordEstimator};
+    pub use crate::gamma::{GammaDist, ShiftedGamma};
+    pub use crate::normal::Normal;
+    pub use crate::process::{
+        ArrivalProcess, DeterministicArrivals, PoissonArrivals, UniformJitterArrivals,
+    };
+    pub use crate::rng::SimRng;
+    pub use crate::summary::{ConfidenceInterval, Histogram, Summary};
+}

@@ -1,0 +1,31 @@
+//! # bdps — Bounded-Delay Publish/Subscribe
+//!
+//! Facade crate re-exporting the whole BDPS workspace. See the README for a
+//! tour and the individual crates for details:
+//!
+//! * [`types`] — identifiers, simulated time, attribute values, QoS.
+//! * [`stats`] — probability distributions, estimators, arrival processes.
+//! * [`filter`] — content-based subscription language and matching index.
+//! * [`net`] — link bandwidth models and bandwidth measurement.
+//! * [`overlay`] — broker overlay, topologies, routing, subscription tables.
+//! * [`core`] — the EB / PC / EBPC bounded-delay scheduling strategies.
+//! * [`sim`] — discrete-event simulator, workloads and experiment runner.
+
+pub use bdps_core as core;
+pub use bdps_filter as filter;
+pub use bdps_net as net;
+pub use bdps_overlay as overlay;
+pub use bdps_sim as sim;
+pub use bdps_stats as stats;
+pub use bdps_types as types;
+
+/// Convenience prelude pulling in the most commonly used items of every crate.
+pub mod prelude {
+    pub use bdps_core::prelude::*;
+    pub use bdps_filter::prelude::*;
+    pub use bdps_net::prelude::*;
+    pub use bdps_overlay::prelude::*;
+    pub use bdps_sim::prelude::*;
+    pub use bdps_stats::prelude::*;
+    pub use bdps_types::prelude::*;
+}

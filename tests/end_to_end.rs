@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full paper pipeline from topology to
+//! objective metrics.
+
+use bdps::prelude::*;
+use bdps::sim::runner::{run, sweep, SweepCell, TopologySpec};
+use bdps::overlay::routing::Routing;
+use bdps::overlay::topology::{LayeredMeshConfig, Topology};
+
+fn quick(strategy: StrategyKind, ssd: bool, rate: f64, seed: u64) -> SimulationConfig {
+    let workload = if ssd {
+        WorkloadConfig::paper_ssd(rate)
+    } else {
+        WorkloadConfig::paper_psd(rate)
+    }
+    .with_duration(Duration::from_secs(420));
+    SimulationConfig::paper(strategy, workload, seed)
+}
+
+#[test]
+fn paper_topology_routes_are_complete_and_consistent() {
+    let topo = Topology::paper_topology(&mut SimRng::seed_from(5));
+    let routing = Routing::compute(&topo.graph);
+    assert!(routing.is_consistent());
+    // Every publisher broker reaches every edge broker through at most 3 hops
+    // (layer 1 -> 2 -> 3 -> 4).
+    for pb in topo.graph.publisher_brokers() {
+        for eb in topo.graph.edge_brokers() {
+            let stats = routing.path_stats(pb, eb).expect("reachable");
+            assert!(stats.hops() >= 1 && stats.hops() <= 3, "hops = {}", stats.hops());
+            assert!(stats.mean_rate() >= 50.0 && stats.mean_rate() <= 300.0);
+        }
+    }
+}
+
+#[test]
+fn paper_scale_run_is_sane_under_the_eb_strategy() {
+    let report = run(&quick(StrategyKind::MaxEb, true, 10.0, 31));
+    // 4 publishers x 10 msg/min x 7 minutes ~ 280 messages.
+    assert!(report.published > 150 && report.published < 450, "published = {}", report.published);
+    // The workload is tuned for ~25% selectivity over 160 subscribers.
+    let avg_interested = report.interested as f64 / report.published as f64;
+    assert!(
+        (20.0..60.0).contains(&avg_interested),
+        "average interested subscribers per message = {avg_interested}"
+    );
+    assert!(report.delivery_rate > 0.0 && report.delivery_rate <= 1.0);
+    assert!(report.total_earning > 0.0);
+    assert!(report.message_number > report.published as u64);
+    // No (message, subscriber) pair can be delivered twice.
+    assert!(report.on_time + report.late <= report.interested);
+}
+
+#[test]
+fn congestion_ordering_matches_the_paper() {
+    // At publishing rate 12 the network is congested; the paper's ordering is
+    // EB >= PC > FIFO > RL for delivery rate (Fig. 6a) and earning (Fig. 5a).
+    let cells: Vec<SweepCell> = [
+        StrategyKind::MaxEb,
+        StrategyKind::MaxPc,
+        StrategyKind::Fifo,
+        StrategyKind::RemainingLifetime,
+    ]
+    .iter()
+    .map(|&s| SweepCell {
+        label: s.label().into(),
+        config: quick(s, false, 12.0, 77),
+    })
+    .collect();
+    let results = sweep(&cells, 4);
+    let rate_of = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| r.delivery_rate)
+            .unwrap()
+    };
+    let eb = rate_of("EB");
+    let fifo = rate_of("FIFO");
+    let rl = rate_of("RL");
+    assert!(eb < 1.0, "there should be congestion, EB rate = {eb}");
+    assert!(eb > fifo, "EB ({eb}) should beat FIFO ({fifo})");
+    assert!(fifo > rl, "FIFO ({fifo}) should beat RL ({rl})");
+}
+
+#[test]
+fn ssd_earning_favours_eb_over_fifo_under_load() {
+    let eb = run(&quick(StrategyKind::MaxEb, true, 12.0, 13));
+    let fifo = run(&quick(StrategyKind::Fifo, true, 12.0, 13));
+    assert!(
+        eb.total_earning > fifo.total_earning,
+        "EB earning {} should exceed FIFO earning {}",
+        eb.total_earning,
+        fifo.total_earning
+    );
+    // Traffic overhead should stay moderate (the paper reports ~+23% at rate 15).
+    let overhead = eb.message_number as f64 / fifo.message_number as f64;
+    assert!(overhead < 1.8, "EB traffic overhead too high: {overhead}");
+}
+
+#[test]
+fn ebpc_extreme_weight_equals_eb() {
+    // r = 1 makes EBPC identical to EB, so the whole simulation must agree.
+    let eb = run(&quick(StrategyKind::MaxEb, true, 9.0, 5));
+    let ebpc = run(&quick(StrategyKind::MaxEbpc, true, 9.0, 5).with_ebpc_weight(1.0));
+    assert_eq!(eb.on_time, ebpc.on_time);
+    assert_eq!(eb.total_earning, ebpc.total_earning);
+    assert_eq!(eb.message_number, ebpc.message_number);
+}
+
+#[test]
+fn runs_are_reproducible_across_processes_and_parallelism() {
+    let cfg = quick(StrategyKind::MaxEbpc, false, 9.0, 99);
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a, b);
+    // The same cell inside a parallel sweep gives the same numbers.
+    let cells = vec![
+        SweepCell {
+            label: "x".into(),
+            config: cfg.clone(),
+        },
+        SweepCell {
+            label: "y".into(),
+            config: quick(StrategyKind::Fifo, false, 9.0, 99),
+        },
+    ];
+    let swept = sweep(&cells, 2);
+    assert_eq!(swept[0].1, a);
+}
+
+#[test]
+fn smaller_mesh_and_best_effort_scenario_work() {
+    let mut workload = WorkloadConfig::paper_psd(6.0).with_duration(Duration::from_secs(300));
+    workload.scenario = Scenario::BestEffort;
+    let mut cfg = SimulationConfig::paper(StrategyKind::Fifo, workload, 3);
+    cfg.topology = TopologySpec::LayeredMesh(LayeredMeshConfig::small());
+    let report = run(&cfg);
+    // Without bounds nothing can ever be late or dropped as expired.
+    assert_eq!(report.late, 0);
+    assert_eq!(report.dropped_expired, 0);
+    assert_eq!(report.dropped_unlikely, 0);
+    assert!(report.delivery_rate > 0.9);
+}

@@ -1,0 +1,166 @@
+//! Property-based tests on cross-crate invariants.
+
+use bdps::prelude::*;
+use bdps::core::metrics;
+use bdps::core::queue::MatchedTarget;
+use bdps::overlay::pathstats::PathStats;
+use bdps::overlay::routing::Routing;
+use bdps::overlay::topology::Topology;
+use bdps::stats::normal::Normal;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn head(a1: f64, a2: f64) -> MessageHead {
+    let mut h = MessageHead::new();
+    h.set("A1", a1).set("A2", a2);
+    h
+}
+
+proptest! {
+    /// The matching index agrees with brute-force filter evaluation.
+    #[test]
+    fn index_matches_bruteforce(
+        thresholds in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40),
+        probes in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..20),
+    ) {
+        let mut index = MatchIndex::new();
+        for (i, (x1, x2)) in thresholds.iter().enumerate() {
+            index.insert(SubscriptionId::new(i as u32), Filter::paper_conjunction(*x1, *x2));
+        }
+        for (a1, a2) in probes {
+            let h = head(a1, a2);
+            prop_assert_eq!(index.matching(&h), index.matching_bruteforce(&h));
+        }
+    }
+
+    /// Filter covering is sound: if `wide` covers `narrow`, every head that
+    /// matches `narrow` also matches `wide`.
+    #[test]
+    fn covering_is_sound(
+        wide in (0.0f64..10.0, 0.0f64..10.0),
+        narrow in (0.0f64..10.0, 0.0f64..10.0),
+        probes in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30),
+    ) {
+        let wide_f = Filter::paper_conjunction(wide.0, wide.1);
+        let narrow_f = Filter::paper_conjunction(narrow.0, narrow.1);
+        if wide_f.covers(&narrow_f) {
+            for (a1, a2) in probes {
+                let h = head(a1, a2);
+                if narrow_f.matches(&h) {
+                    prop_assert!(wide_f.matches(&h));
+                }
+            }
+        }
+    }
+
+    /// Normal CDF is monotone and bounded; sums of independent normals add
+    /// their means and variances.
+    #[test]
+    fn normal_cdf_properties(mean in -100.0f64..100.0, std in 0.1f64..50.0, a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        let n = Normal::new(mean, std);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+        let sum = n.add_independent(&Normal::new(mean, std));
+        prop_assert!((sum.mean() - 2.0 * mean).abs() < 1e-9);
+        prop_assert!((sum.variance() - 2.0 * std * std).abs() < 1e-6);
+    }
+
+    /// Success probability is monotone: more elapsed time never increases it,
+    /// and a longer allowed delay never decreases it.
+    #[test]
+    fn success_probability_monotonicity(
+        allowed_secs in 1u64..120,
+        elapsed_a in 0u64..120,
+        elapsed_b in 0u64..120,
+        hops in 1u32..4,
+        rate in 50.0f64..100.0,
+    ) {
+        let message = Arc::new(
+            Message::builder(MessageId::new(1), PublisherId::new(0))
+                .publish_time(SimTime::ZERO)
+                .size_kb(50.0)
+                .build(),
+        );
+        let mut stats = PathStats::local();
+        for _ in 0..hops {
+            stats = stats.extend(Normal::new(rate, 20.0));
+        }
+        let target = |allowed: u64| MatchedTarget {
+            subscription: SubscriptionId::new(0),
+            subscriber: SubscriberId::new(0),
+            price: Price::unit(),
+            allowed_delay: Duration::from_secs(allowed),
+            stats,
+        };
+        let pd = Duration::from_millis(2);
+        let (early, late) = if elapsed_a <= elapsed_b { (elapsed_a, elapsed_b) } else { (elapsed_b, elapsed_a) };
+        let p_early = metrics::success_probability(&message, &target(allowed_secs), SimTime::from_secs(early), pd);
+        let p_late = metrics::success_probability(&message, &target(allowed_secs), SimTime::from_secs(late), pd);
+        prop_assert!(p_late <= p_early + 1e-12);
+        let p_longer = metrics::success_probability(&message, &target(allowed_secs + 10), SimTime::from_secs(early), pd);
+        prop_assert!(p_longer + 1e-12 >= p_early);
+        prop_assert!((0.0..=1.0).contains(&p_early));
+    }
+
+    /// EB is non-negative, bounded by the total price of its targets, and the
+    /// postponing cost never exceeds EB.
+    #[test]
+    fn eb_and_pc_bounds(
+        allowed in proptest::collection::vec(1u64..90, 1..6),
+        prices in proptest::collection::vec(1i64..4, 1..6),
+        ft in 0.0f64..10_000.0,
+    ) {
+        let message = Arc::new(
+            Message::builder(MessageId::new(1), PublisherId::new(0))
+                .publish_time(SimTime::ZERO)
+                .size_kb(50.0)
+                .build(),
+        );
+        let targets: Vec<MatchedTarget> = allowed
+            .iter()
+            .zip(prices.iter().cycle())
+            .map(|(&a, &p)| MatchedTarget {
+                subscription: SubscriptionId::new(0),
+                subscriber: SubscriberId::new(0),
+                price: Price::from_units(p),
+                allowed_delay: Duration::from_secs(a),
+                stats: PathStats::from_links([&Normal::new(75.0, 20.0), &Normal::new(60.0, 20.0)]),
+            })
+            .collect();
+        let pd = Duration::from_millis(2);
+        let now = SimTime::from_secs(1);
+        let eb = metrics::expected_benefit(&message, &targets, now, pd);
+        let pc = metrics::postponing_cost(&message, &targets, now, pd, ft);
+        let total_price: f64 = targets.iter().map(|t| t.price.as_f64()).sum();
+        prop_assert!(eb >= -1e-12);
+        prop_assert!(eb <= total_price + 1e-9);
+        prop_assert!(pc >= -1e-9);
+        prop_assert!(pc <= eb + 1e-9);
+    }
+
+    /// Routing on random meshes is consistent and path statistics equal the
+    /// sum of link means along the realised path.
+    #[test]
+    fn routing_stats_match_paths(seed in 0u64..500, n in 4usize..12) {
+        let mut rng = SimRng::seed_from(seed);
+        let topo = Topology::random_mesh(n, 3.0, &mut rng, LinkQuality::paper_random);
+        let routing = Routing::compute(&topo.graph);
+        prop_assert!(routing.is_consistent());
+        for from in 0..n {
+            for to in 0..n {
+                if from == to { continue; }
+                let from = BrokerId::new(from as u32);
+                let to = BrokerId::new(to as u32);
+                if let (Some(stats), Some(path)) = (routing.path_stats(from, to), routing.path(from, to)) {
+                    let mut sum = 0.0;
+                    for w in path.windows(2) {
+                        sum += topo.graph.link_between(w[0], w[1]).unwrap().quality.rate_distribution().mean();
+                    }
+                    prop_assert!((sum - stats.mean_rate()).abs() < 1e-6);
+                    prop_assert_eq!(stats.hops() as usize, path.len() - 1);
+                }
+            }
+        }
+    }
+}
