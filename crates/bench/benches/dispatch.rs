@@ -1,0 +1,145 @@
+//! Compares the three dispatch styles for scoring a large output queue:
+//!
+//! * `enum` — a closed `match` over [`StrategyKind`] calling the metric
+//!   functions directly (how the pre-trait scheduler worked);
+//! * `trait_object` — one virtual `priority` call per queued message through
+//!   a [`StrategyHandle`];
+//! * `batch` — a single virtual `score_all` call scoring the whole queue
+//!   (the hook the output queue uses on the hot path).
+//!
+//! Run with `cargo bench -p bdps-bench --bench dispatch`; the queue holds
+//! 10 000 messages with 4 targets each.
+
+use bdps_core::config::{SchedulerConfig, StrategyKind};
+use bdps_core::metrics;
+use bdps_core::queue::{MatchedTarget, QueuedMessage};
+use bdps_core::strategy::{ScheduleContext, StrategyHandle};
+use bdps_overlay::pathstats::PathStats;
+use bdps_stats::normal::Normal;
+use bdps_stats::rng::SimRng;
+use bdps_types::id::{MessageId, PublisherId, SubscriberId, SubscriptionId};
+use bdps_types::message::Message;
+use bdps_types::money::Price;
+use bdps_types::time::{Duration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+const QUEUE_LEN: usize = 10_000;
+const TARGETS_PER_MSG: usize = 4;
+
+fn make_items(rng: &mut SimRng) -> Vec<QueuedMessage> {
+    (0..QUEUE_LEN)
+        .map(|i| {
+            let message = Arc::new(
+                Message::builder(MessageId::new(i as u64), PublisherId::new(0))
+                    .publish_time(SimTime::ZERO)
+                    .size_kb(50.0)
+                    .build(),
+            );
+            let targets = (0..TARGETS_PER_MSG)
+                .map(|t| MatchedTarget {
+                    subscription: SubscriptionId::new(t as u32),
+                    subscriber: SubscriberId::new(t as u32),
+                    price: Price::from_units(1 + (t % 3) as i64),
+                    allowed_delay: Duration::from_secs(10 + (t % 3) as u64 * 25),
+                    stats: PathStats::from_links([
+                        &Normal::new(rng.uniform_range(50.0, 100.0), 20.0),
+                        &Normal::new(rng.uniform_range(50.0, 100.0), 20.0),
+                    ]),
+                })
+                .collect();
+            QueuedMessage {
+                message,
+                targets,
+                enqueue_time: SimTime::from_millis(i as u64),
+            }
+        })
+        .collect()
+}
+
+/// The pre-trait closed dispatch, kept here as the baseline under test.
+fn enum_priority(kind: StrategyKind, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+    match kind {
+        StrategyKind::Fifo => -(item.enqueue_time.as_micros() as f64),
+        StrategyKind::RemainingLifetime => -item.avg_remaining_lifetime_ms(ctx.now),
+        StrategyKind::MaxEb => {
+            metrics::expected_benefit(&item.message, &item.targets, ctx.now, ctx.processing_delay)
+        }
+        StrategyKind::MaxPc => metrics::postponing_cost(
+            &item.message,
+            &item.targets,
+            ctx.now,
+            ctx.processing_delay,
+            ctx.first_send_estimate_ms,
+        ),
+        StrategyKind::MaxEbpc => metrics::ebpc(
+            &item.message,
+            &item.targets,
+            ctx.now,
+            ctx.processing_delay,
+            ctx.first_send_estimate_ms,
+            ctx.ebpc_weight,
+        ),
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(7);
+    let items = make_items(&mut rng);
+    let mut group = c.benchmark_group("score_10k");
+    group.sample_size(20);
+    for kind in [
+        StrategyKind::Fifo,
+        StrategyKind::MaxEb,
+        StrategyKind::MaxEbpc,
+    ] {
+        let config = SchedulerConfig::paper(kind);
+        let ctx = ScheduleContext::new(SimTime::from_secs(3), &config, 50.0 * 75.0);
+        let handle: StrategyHandle = kind.resolve();
+
+        group.bench_with_input(
+            BenchmarkId::new("enum", kind.label()),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut best = f64::NEG_INFINITY;
+                    for item in items {
+                        best = best.max(std::hint::black_box(enum_priority(kind, &ctx, item)));
+                    }
+                    best
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("trait_object", kind.label()),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut best = f64::NEG_INFINITY;
+                    for item in items {
+                        best = best.max(std::hint::black_box(handle.priority(&ctx, item)));
+                    }
+                    best
+                })
+            },
+        );
+
+        let mut scores = Vec::with_capacity(QUEUE_LEN);
+        group.bench_with_input(
+            BenchmarkId::new("batch", kind.label()),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    scores.clear();
+                    handle.score_all(&ctx, items, &mut scores);
+                    std::hint::black_box(scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -36,9 +36,7 @@ fn bench_routing(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("subscription_tables_all_brokers", |b| {
-        b.iter(|| {
-            std::hint::black_box(SubscriptionTable::build_all(&topo.graph, &routing, &subs))
-        })
+        b.iter(|| std::hint::black_box(SubscriptionTable::build_all(&topo.graph, &routing, &subs)))
     });
 }
 

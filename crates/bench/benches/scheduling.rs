@@ -45,20 +45,20 @@ fn make_queue(len: usize, targets_per_msg: usize, rng: &mut SimRng) -> OutputQue
 fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("pop_next");
     for &len in &[16usize, 64, 256] {
-        for strategy in [StrategyKind::Fifo, StrategyKind::MaxEb, StrategyKind::MaxEbpc] {
+        for strategy in [
+            StrategyKind::Fifo,
+            StrategyKind::MaxEb,
+            StrategyKind::MaxEbpc,
+        ] {
             let cfg = SchedulerConfig::paper(strategy);
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), len),
-                &len,
-                |b, &len| {
-                    let mut rng = SimRng::seed_from(5);
-                    b.iter_batched(
-                        || make_queue(len, 8, &mut rng),
-                        |mut q| std::hint::black_box(q.pop_next(SimTime::from_secs(3), &cfg)),
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), len), &len, |b, &len| {
+                let mut rng = SimRng::seed_from(5);
+                b.iter_batched(
+                    || make_queue(len, 8, &mut rng),
+                    |mut q| std::hint::black_box(q.pop_next(SimTime::from_secs(3), &cfg)),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     group.finish();

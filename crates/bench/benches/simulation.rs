@@ -10,7 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_5min_small_mesh");
     group.sample_size(10);
-    for strategy in [StrategyKind::Fifo, StrategyKind::MaxEb, StrategyKind::MaxEbpc] {
+    for strategy in [
+        StrategyKind::Fifo,
+        StrategyKind::MaxEb,
+        StrategyKind::MaxEbpc,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,

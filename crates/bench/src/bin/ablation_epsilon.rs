@@ -3,9 +3,9 @@
 
 use bdps_bench::{f1, run_cells, ExperimentOptions};
 use bdps_core::config::{InvalidDetection, StrategyKind};
+use bdps_sim::engine::Simulation;
 use bdps_sim::report::render_markdown_table;
-use bdps_sim::runner::{SimulationConfig, SweepCell};
-use bdps_sim::workload::WorkloadConfig;
+use bdps_sim::runner::SweepCell;
 use bdps_types::time::Duration;
 
 fn main() {
@@ -25,15 +25,15 @@ fn main() {
 
     let cells: Vec<SweepCell> = policies
         .iter()
-        .map(|(label, policy)| {
-            let workload = WorkloadConfig::paper_ssd(12.0)
-                .with_duration(Duration::from_secs(opts.duration_secs));
-            let mut config = SimulationConfig::paper(StrategyKind::MaxEb, workload, opts.seed);
-            config.scheduler = config.scheduler.with_invalid_detection(*policy);
-            SweepCell {
-                label: (*label).to_string(),
-                config,
-            }
+        .map(|(label, policy)| SweepCell {
+            label: (*label).to_string(),
+            config: Simulation::builder()
+                .ssd(12.0)
+                .duration(Duration::from_secs(opts.duration_secs))
+                .strategy(StrategyKind::MaxEb)
+                .invalid_detection(*policy)
+                .seed(opts.seed)
+                .build_config(),
         })
         .collect();
 

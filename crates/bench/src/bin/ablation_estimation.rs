@@ -5,35 +5,11 @@
 //! the network keeps behaving according to the true model.
 
 use bdps_bench::{f1, ExperimentOptions};
-use bdps_core::config::{SchedulerConfig, StrategyKind};
+use bdps_core::config::StrategyKind;
 use bdps_net::measure::EstimationError;
-use bdps_overlay::topology::Topology;
 use bdps_sim::engine::Simulation;
-use bdps_sim::report::{render_markdown_table, SimulationReport};
-use bdps_sim::workload::WorkloadConfig;
-use bdps_stats::rng::SimRng;
+use bdps_sim::report::render_markdown_table;
 use bdps_types::time::Duration;
-
-fn run_with_error(err: EstimationError, opts: &ExperimentOptions) -> SimulationReport {
-    let root = SimRng::seed_from(opts.seed);
-    let mut topo_rng = root.split(0);
-    let sim_rng = root.split(1);
-    let topology = Topology::paper_topology(&mut topo_rng);
-    let workload =
-        WorkloadConfig::paper_ssd(12.0).with_duration(Duration::from_secs(opts.duration_secs));
-    let scheduler = SchedulerConfig::paper(StrategyKind::MaxEb);
-    let outcome =
-        Simulation::with_estimation_error(topology, workload.clone(), scheduler, sim_rng, err)
-            .run();
-    SimulationReport::from_outcome(
-        &outcome,
-        StrategyKind::MaxEb,
-        scheduler.ebpc_weight,
-        workload.scenario,
-        &workload,
-        opts.seed,
-    )
-}
 
 fn main() {
     let opts = ExperimentOptions::from_args();
@@ -44,8 +20,14 @@ fn main() {
 
     let errors: Vec<(&str, EstimationError)> = vec![
         ("exact (paper assumption)", EstimationError::NONE),
-        ("mean +25% (pessimistic)", EstimationError::relative(0.25, 0.0)),
-        ("mean -25% (optimistic)", EstimationError::relative(-0.25, 0.0)),
+        (
+            "mean +25% (pessimistic)",
+            EstimationError::relative(0.25, 0.0),
+        ),
+        (
+            "mean -25% (optimistic)",
+            EstimationError::relative(-0.25, 0.0),
+        ),
         ("sigma x2", EstimationError::relative(0.0, 1.0)),
         ("sigma /2", EstimationError::relative(0.0, -0.5)),
         ("mean +50%, sigma x2", EstimationError::relative(0.5, 1.0)),
@@ -54,7 +36,13 @@ fn main() {
     let rows: Vec<Vec<String>> = errors
         .iter()
         .map(|(label, err)| {
-            let r = run_with_error(*err, &opts);
+            let r = Simulation::builder()
+                .ssd(12.0)
+                .duration(Duration::from_secs(opts.duration_secs))
+                .strategy(StrategyKind::MaxEb)
+                .estimation_error(*err)
+                .seed(opts.seed)
+                .report();
             vec![
                 (*label).to_string(),
                 f1(r.earning_k()),

@@ -6,9 +6,9 @@
 //! reports mean ± std of the delivery rate per strategy.
 
 use bdps_bench::{f1, run_cells, ExperimentOptions, PAPER_STRATEGIES};
+use bdps_sim::engine::Simulation;
 use bdps_sim::report::render_markdown_table;
-use bdps_sim::runner::{SimulationConfig, SweepCell};
-use bdps_sim::workload::WorkloadConfig;
+use bdps_sim::runner::SweepCell;
 use bdps_stats::summary::Summary;
 use bdps_types::time::Duration;
 
@@ -19,21 +19,25 @@ fn main() {
         opts.banner("Ablation — multi-seed variability of the PSD comparison (rate 12)")
     );
 
+    let strategies = opts.strategies_or(&PAPER_STRATEGIES);
     let seeds: Vec<u64> = (0..5).map(|i| opts.seed + i).collect();
     let mut cells = Vec::new();
-    for &strategy in &PAPER_STRATEGIES {
+    for strategy in &strategies {
         for &seed in &seeds {
-            let workload = WorkloadConfig::paper_psd(12.0)
-                .with_duration(Duration::from_secs(opts.duration_secs));
             cells.push(SweepCell {
                 label: format!("{}#{}", strategy.label(), seed),
-                config: SimulationConfig::paper(strategy, workload, seed),
+                config: Simulation::builder()
+                    .psd(12.0)
+                    .duration(Duration::from_secs(opts.duration_secs))
+                    .strategy(strategy.clone())
+                    .seed(seed)
+                    .build_config(),
             });
         }
     }
     let results = run_cells(&cells, &opts);
 
-    let rows: Vec<Vec<String>> = PAPER_STRATEGIES
+    let rows: Vec<Vec<String>> = strategies
         .iter()
         .map(|s| {
             let mut delivery = Summary::new();
@@ -55,7 +59,11 @@ fn main() {
     println!(
         "{}",
         render_markdown_table(
-            &["strategy", "delivery rate (%) mean ± std", "msg number (k) mean ± std"],
+            &[
+                "strategy",
+                "delivery rate (%) mean ± std",
+                "msg number (k) mean ± std"
+            ],
             &rows
         )
     );

@@ -10,8 +10,8 @@
 
 use bdps_bench::{f1, run_cells, series_table, ExperimentOptions};
 use bdps_core::config::StrategyKind;
-use bdps_sim::runner::{SimulationConfig, SweepCell};
-use bdps_sim::workload::WorkloadConfig;
+use bdps_sim::engine::Simulation;
+use bdps_sim::runner::SweepCell;
 use bdps_types::time::Duration;
 use std::collections::HashMap;
 
@@ -19,29 +19,27 @@ const RATE: f64 = 10.0;
 const R_VALUES: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
 fn cells_for(ssd: bool, opts: &ExperimentOptions) -> Vec<SweepCell> {
-    let workload = |_: f64| {
-        let w = if ssd {
-            WorkloadConfig::paper_ssd(RATE)
-        } else {
-            WorkloadConfig::paper_psd(RATE)
-        };
-        w.with_duration(Duration::from_secs(opts.duration_secs))
+    let base = |strategy: StrategyKind| {
+        let b = Simulation::builder();
+        let b = if ssd { b.ssd(RATE) } else { b.psd(RATE) };
+        b.duration(Duration::from_secs(opts.duration_secs))
+            .strategy(strategy)
+            .seed(opts.seed)
     };
     let mut cells = vec![
         SweepCell {
             label: "EB".into(),
-            config: SimulationConfig::paper(StrategyKind::MaxEb, workload(0.0), opts.seed),
+            config: base(StrategyKind::MaxEb).build_config(),
         },
         SweepCell {
             label: "PC".into(),
-            config: SimulationConfig::paper(StrategyKind::MaxPc, workload(0.0), opts.seed),
+            config: base(StrategyKind::MaxPc).build_config(),
         },
     ];
     for r in R_VALUES {
         cells.push(SweepCell {
             label: format!("EBPC@r{}", (r * 100.0).round() as u32),
-            config: SimulationConfig::paper(StrategyKind::MaxEbpc, workload(r), opts.seed)
-                .with_ebpc_weight(r),
+            config: base(StrategyKind::MaxEbpc).ebpc_weight(r).build_config(),
         });
     }
     cells
@@ -66,7 +64,9 @@ fn panel(ssd: bool, opts: &ExperimentOptions) -> String {
         .map(|r| format!("{}", (r * 100.0).round() as u32))
         .collect();
     series_table("r (%)", &xs, &["EBPC", "EB", "PC"], |i, s| match s {
-        "EBPC" => value(by_label[format!("EBPC@r{}", (R_VALUES[i] * 100.0).round() as u32).as_str()]),
+        "EBPC" => {
+            value(by_label[format!("EBPC@r{}", (R_VALUES[i] * 100.0).round() as u32).as_str()])
+        }
         other => value(by_label[other]),
     })
 }

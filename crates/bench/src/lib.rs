@@ -16,17 +16,22 @@
 //! | `ablation_scheddelay` | multi-seed variance of the headline comparison |
 //!
 //! By default the binaries run a shortened publication period so that the
-//! whole suite finishes in minutes; pass `--full` for the paper's 2-hour runs.
+//! whole suite finishes in minutes; pass `--full` for the paper's 2-hour
+//! runs. The comparison binaries accept `--strategies <a,b,c>` with names
+//! resolved through the
+//! [`StrategyRegistry`](bdps_core::strategy::StrategyRegistry) (`fifo`,
+//! `rl`, `eb`, `pc`, `ebpc`, `composite`, or their display labels).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bdps_core::config::StrategyKind;
+use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
 use bdps_sim::report::{render_markdown_table, SimulationReport};
 use bdps_sim::runner::{sweep, SweepCell};
 
 /// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOptions {
     /// Publication period in seconds (the paper uses 7200 s).
     pub duration_secs: u64,
@@ -34,6 +39,9 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Worker threads for the sweep.
     pub threads: usize,
+    /// Strategy names selected with `--strategies` (resolved through the
+    /// [`StrategyRegistry`]); empty means "use the binary's paper default".
+    pub strategies: Vec<String>,
 }
 
 impl Default for ExperimentOptions {
@@ -44,13 +52,15 @@ impl Default for ExperimentOptions {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            strategies: Vec::new(),
         }
     }
 }
 
 impl ExperimentOptions {
-    /// Parses `--full`, `--duration <secs>`, `--seed <n>` and `--threads <n>`
-    /// from the process arguments; anything else is ignored.
+    /// Parses `--full`, `--duration <secs>`, `--seed <n>`, `--threads <n>`
+    /// and `--strategies <a,b,c>` from the process arguments; anything else
+    /// is ignored.
     pub fn from_args() -> Self {
         let mut opts = ExperimentOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -76,11 +86,44 @@ impl ExperimentOptions {
                         i += 1;
                     }
                 }
+                "--strategies" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.strategies = v
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
         }
         opts
+    }
+
+    /// The strategies a comparison binary should run: the names given with
+    /// `--strategies`, resolved through the built-in [`StrategyRegistry`],
+    /// or `default` when none were selected. Exits with a diagnostic on an
+    /// unknown name, listing the registered ones.
+    pub fn strategies_or(&self, default: &[StrategyKind]) -> Vec<StrategyHandle> {
+        if self.strategies.is_empty() {
+            return default.iter().map(|s| s.resolve()).collect();
+        }
+        let registry = StrategyRegistry::builtin();
+        self.strategies
+            .iter()
+            .map(|name| {
+                registry.resolve(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown strategy {name:?}; registered: {}",
+                        registry.names().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
     }
 
     /// A banner describing the run parameters.
@@ -151,6 +194,22 @@ mod tests {
         assert!(o.duration_secs >= 600);
         assert!(o.threads >= 1);
         assert!(o.banner("Fig. 5").contains("Fig. 5"));
+        assert!(o.strategies.is_empty());
+    }
+
+    #[test]
+    fn strategy_selection_defaults_and_resolves() {
+        let defaults = ExperimentOptions::default().strategies_or(&PAPER_STRATEGIES);
+        assert_eq!(defaults.len(), PAPER_STRATEGIES.len());
+        assert_eq!(defaults[0].label(), "EB");
+        let picked = ExperimentOptions {
+            strategies: vec!["fifo".into(), "composite".into()],
+            ..ExperimentOptions::default()
+        }
+        .strategies_or(&PAPER_STRATEGIES);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].label(), "FIFO");
+        assert_eq!(picked[1].label(), "COMPOSITE");
     }
 
     #[test]

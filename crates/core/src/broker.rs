@@ -190,7 +190,8 @@ impl BrokerState {
         }
 
         for entry in local {
-            let allowed_delay = effective_allowed_delay(&message, entry.subscription.allowed_delay());
+            let allowed_delay =
+                effective_allowed_delay(&message, entry.subscription.allowed_delay());
             let delay = message.elapsed(now);
             let on_time = delay <= allowed_delay;
             if on_time {
@@ -306,9 +307,12 @@ mod tests {
     fn setup() -> Setup {
         let mut rng = SimRng::seed_from(1);
         let mut topo = Topology::line(3, &mut rng, fixed_quality);
-        topo.graph.attach_subscriber(BrokerId::new(2), SubscriberId::new(0));
-        topo.graph.attach_subscriber(BrokerId::new(1), SubscriberId::new(1));
-        topo.graph.attach_subscriber(BrokerId::new(0), SubscriberId::new(2));
+        topo.graph
+            .attach_subscriber(BrokerId::new(2), SubscriberId::new(0));
+        topo.graph
+            .attach_subscriber(BrokerId::new(1), SubscriberId::new(1));
+        topo.graph
+            .attach_subscriber(BrokerId::new(0), SubscriberId::new(2));
         let routing = Routing::compute(&topo.graph);
         let subs = vec![
             (
@@ -530,7 +534,8 @@ mod tests {
         assert_eq!(q.items()[0].targets.len(), 1);
         assert_eq!(q.items()[0].targets[0].subscription, SubscriptionId::new(0));
         // An empty scope produces no work at all.
-        let outcome = b1.handle_arrival_scoped(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4), Some(&[]));
+        let outcome =
+            b1.handle_arrival_scoped(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4), Some(&[]));
         assert!(outcome.local.is_empty());
         assert!(outcome.enqueued_to.is_empty());
     }

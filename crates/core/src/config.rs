@@ -1,11 +1,26 @@
 //! Scheduler configuration.
+//!
+//! The scheduling strategy itself is pluggable: [`SchedulerConfig::strategy`]
+//! holds a [`StrategyHandle`] (a shared `dyn SchedulingStrategy`), so any
+//! implementation of the trait — built-in or user-defined — can be threaded
+//! through the broker state machine. [`StrategyKind`] survives as a thin
+//! compatibility shim enumerating the five paper strategies and resolving
+//! each to its boxed implementation.
 
+use crate::strategy::{Fifo, MaxEb, MaxEbpc, MaxPc, RemainingLifetime, StrategyHandle};
 use bdps_types::error::{BdpsError, Result};
 use bdps_types::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The scheduling strategy a broker applies to its output queues.
+/// The five scheduling strategies evaluated by the paper.
+///
+/// This enum is a compatibility shim: the scheduler itself works against the
+/// [`SchedulingStrategy`](crate::strategy::SchedulingStrategy) trait, and a
+/// kind simply [`resolve`](StrategyKind::resolve)s to the corresponding boxed
+/// implementation. New strategies do not extend this enum — they implement
+/// the trait and register with the
+/// [`StrategyRegistry`](crate::strategy::StrategyRegistry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StrategyKind {
     /// First-in, first-out (baseline).
@@ -51,6 +66,23 @@ impl StrategyKind {
             StrategyKind::MaxEb | StrategyKind::MaxPc | StrategyKind::MaxEbpc
         )
     }
+
+    /// Resolves the kind to a handle on its boxed strategy implementation.
+    pub fn resolve(self) -> StrategyHandle {
+        match self {
+            StrategyKind::Fifo => StrategyHandle::new(Fifo),
+            StrategyKind::RemainingLifetime => StrategyHandle::new(RemainingLifetime),
+            StrategyKind::MaxEb => StrategyHandle::new(MaxEb),
+            StrategyKind::MaxPc => StrategyHandle::new(MaxPc),
+            StrategyKind::MaxEbpc => StrategyHandle::new(MaxEbpc),
+        }
+    }
+}
+
+impl From<StrategyKind> for StrategyHandle {
+    fn from(kind: StrategyKind) -> Self {
+        kind.resolve()
+    }
 }
 
 impl fmt::Display for StrategyKind {
@@ -78,10 +110,14 @@ impl InvalidDetection {
 }
 
 /// Configuration shared by every broker of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `strategy` is a shared handle on a `dyn SchedulingStrategy`, so cloning a
+/// configuration is cheap and every broker of a run scores against the same
+/// strategy instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
-    /// The scheduling strategy.
-    pub strategy: StrategyKind,
+    /// The scheduling strategy (built-in kind or user-defined implementation).
+    pub strategy: StrategyHandle,
     /// The EB weight `r` of the EBPC metric (eq. 10), in [0, 1]. Ignored by
     /// the other strategies.
     pub ebpc_weight: f64,
@@ -96,15 +132,22 @@ pub struct SchedulerConfig {
 }
 
 impl SchedulerConfig {
-    /// The paper's evaluation settings with the given strategy.
-    pub fn paper(strategy: StrategyKind) -> Self {
+    /// The paper's evaluation settings with the given strategy (a
+    /// [`StrategyKind`] or anything convertible into a [`StrategyHandle`]).
+    pub fn paper(strategy: impl Into<StrategyHandle>) -> Self {
         SchedulerConfig {
-            strategy,
+            strategy: strategy.into(),
             ebpc_weight: 0.5,
             invalid_detection: InvalidDetection::PAPER,
             processing_delay: Duration::from_millis(2),
             avg_message_size_kb: 50.0,
         }
+    }
+
+    /// Replaces the scheduling strategy.
+    pub fn with_strategy(mut self, strategy: impl Into<StrategyHandle>) -> Self {
+        self.strategy = strategy.into();
+        self
     }
 
     /// Sets the EBPC weight `r`.

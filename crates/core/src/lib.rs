@@ -14,9 +14,15 @@
 //! * [`queue`] — per-neighbour output queues of [`QueuedMessage`]s with
 //!   strategy-driven selection and expired/unlikely-message purging
 //!   (eq. 11);
-//! * [`strategy`] — the five scheduling strategies evaluated by the paper:
-//!   FIFO, minimum Remaining Lifetime first, maximum EB first, maximum PC
-//!   first and maximum EBPC first;
+//! * [`strategy`] — the pluggable scheduling surface: the
+//!   [`SchedulingStrategy`] trait (per-item `priority` plus a batch
+//!   `score_all` hot-path hook), the five paper strategies (FIFO, minimum
+//!   Remaining Lifetime first, maximum EB first, maximum PC first, maximum
+//!   EBPC first), the non-paper [`WeightedComposite`] blend, the type-erased
+//!   [`StrategyHandle`] threaded through configs/queues/brokers, and the
+//!   name-based [`StrategyRegistry`] used by CLI binaries and sweeps.
+//!   User-defined strategies implement the trait outside this crate and plug
+//!   in through a handle — no core changes required;
 //! * [`broker`] — the broker state machine of Fig. 2: matching arrivals
 //!   against the subscription table, local delivery, enqueueing to
 //!   downstream neighbours and choosing what to send when a link frees up;
@@ -41,7 +47,10 @@ pub use metrics::{
 };
 pub use objective::ObjectiveTracker;
 pub use queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
-pub use strategy::ScheduleContext;
+pub use strategy::{
+    Fifo, MaxEb, MaxEbpc, MaxPc, RemainingLifetime, ScheduleContext, SchedulingStrategy,
+    StrategyHandle, StrategyRegistry, WeightedComposite,
+};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
@@ -49,5 +58,7 @@ pub mod prelude {
     pub use crate::config::{InvalidDetection, SchedulerConfig, StrategyKind};
     pub use crate::objective::ObjectiveTracker;
     pub use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
-    pub use crate::strategy::ScheduleContext;
+    pub use crate::strategy::{
+        ScheduleContext, SchedulingStrategy, StrategyHandle, StrategyRegistry, WeightedComposite,
+    };
 }

@@ -200,10 +200,7 @@ mod tests {
         let late = success_probability(&m, &t, SimTime::from_secs(6), PD);
         assert!(early > late);
         // After the deadline the probability is exactly zero.
-        assert_eq!(
-            success_probability(&m, &t, SimTime::from_secs(11), PD),
-            0.0
-        );
+        assert_eq!(success_probability(&m, &t, SimTime::from_secs(11), PD), 0.0);
     }
 
     #[test]
@@ -213,7 +210,10 @@ mod tests {
             allowed_delay: Duration::MAX,
             ..target(10, 1, 2, 60.0)
         };
-        assert_eq!(success_probability(&m, &t, SimTime::from_secs(500), PD), 1.0);
+        assert_eq!(
+            success_probability(&m, &t, SimTime::from_secs(500), PD),
+            1.0
+        );
     }
 
     #[test]
@@ -241,7 +241,7 @@ mod tests {
     fn postponing_cost_is_nonnegative_and_higher_for_urgent_messages() {
         let m = msg(0);
         let ft = 50.0 * 75.0; // FT: 50 KB at 75 ms/KB
-        // Urgent: the deadline barely fits the path.
+                              // Urgent: the deadline barely fits the path.
         let urgent = target(4, 1, 1, 60.0);
         // Relaxed: plenty of slack.
         let relaxed = target(60, 1, 1, 60.0);

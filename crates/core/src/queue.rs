@@ -41,8 +41,7 @@ impl MatchedTarget {
 
     /// Returns true when the target's deadline has already passed at `now`.
     pub fn is_expired(&self, message: &Message, now: SimTime) -> bool {
-        self.allowed_delay != Duration::MAX
-            && message.elapsed(now) > self.allowed_delay
+        self.allowed_delay != Duration::MAX && message.elapsed(now) > self.allowed_delay
     }
 }
 
@@ -119,6 +118,9 @@ pub struct OutputQueue {
     /// Mean per-KB rate of that link (ms/KB), used for the `FT` estimate of EB'.
     pub link_mean_rate_ms_per_kb: f64,
     items: Vec<QueuedMessage>,
+    /// Scratch buffer reused across selections so the batch-scoring hot path
+    /// does not allocate per decision.
+    scores: Vec<f64>,
 }
 
 impl OutputQueue {
@@ -129,6 +131,7 @@ impl OutputQueue {
             link,
             link_mean_rate_ms_per_kb,
             items: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -202,25 +205,34 @@ impl OutputQueue {
     /// configured strategy. Metrics are recomputed at call time because they
     /// are time-dependent. Call [`purge`](Self::purge) first to apply the
     /// invalid-message policy.
+    ///
+    /// Selection goes through the strategy's batch
+    /// [`score_all`](crate::strategy::SchedulingStrategy::score_all) hook so
+    /// implementations can amortise per-queue work; the scratch score buffer
+    /// is reused across calls.
     pub fn pop_next(&mut self, now: SimTime, config: &SchedulerConfig) -> Option<QueuedMessage> {
         if self.items.is_empty() {
             return None;
         }
-        let ctx = ScheduleContext {
-            now,
-            config: *config,
-            first_send_estimate_ms: self.first_send_estimate_ms(config),
-        };
+        let ctx = ScheduleContext::new(now, config, self.first_send_estimate_ms(config));
+        let mut scores = std::mem::take(&mut self.scores);
+        scores.clear();
+        config.strategy.score_all(&ctx, &self.items, &mut scores);
+        debug_assert_eq!(
+            scores.len(),
+            self.items.len(),
+            "score_all must yield one score per item"
+        );
         let mut best_idx = 0usize;
         let mut best_score = f64::NEG_INFINITY;
-        for (i, item) in self.items.iter().enumerate() {
-            let score = ctx.priority(item);
+        for (i, &score) in scores.iter().enumerate().take(self.items.len()) {
             // Strictly greater keeps FIFO order among ties (stable choice).
             if score > best_score {
                 best_score = score;
                 best_idx = i;
             }
         }
+        self.scores = scores;
         Some(self.items.remove(best_idx))
     }
 
@@ -368,17 +380,15 @@ mod tests {
         let mut q = OutputQueue::new(BrokerId::new(1), LinkId::new(0), 75.0);
         // Message 1: one cheap target; message 2: three expensive targets.
         q.push(queued(msg(1, 0, None), vec![target(30, 1, 60.0, 1)], 0));
-        q.push(
-            queued(
-                msg(2, 0, None),
-                vec![
-                    target(30, 3, 60.0, 1),
-                    target(30, 3, 60.0, 1),
-                    target(30, 2, 60.0, 1),
-                ],
-                0,
-            ),
-        );
+        q.push(queued(
+            msg(2, 0, None),
+            vec![
+                target(30, 3, 60.0, 1),
+                target(30, 3, 60.0, 1),
+                target(30, 2, 60.0, 1),
+            ],
+            0,
+        ));
         let first = q.pop_next(SimTime::from_secs(1), &cfg).unwrap();
         assert_eq!(first.message.id, MessageId::new(2));
     }

@@ -1,66 +1,427 @@
-//! The scheduling strategies (§5, §6.1).
+//! The pluggable scheduling-strategy surface (§5, §6.1).
 //!
 //! A strategy is a priority function over queued messages; the output queue
 //! removes the highest-priority item whenever its link becomes free. All
 //! priorities are *recomputed at selection time* because every metric of the
 //! paper depends on the current time.
+//!
+//! The surface has three layers:
+//!
+//! * [`SchedulingStrategy`] — the trait a strategy implements: a per-item
+//!   [`priority`](SchedulingStrategy::priority) plus an optional batch
+//!   [`score_all`](SchedulingStrategy::score_all) hook the queue calls on the
+//!   hot path so a strategy can amortise per-queue work;
+//! * [`StrategyHandle`] — a cheaply clonable, type-erased handle
+//!   (`Arc<dyn SchedulingStrategy>`) threaded through
+//!   [`SchedulerConfig`](crate::config::SchedulerConfig), the output queues
+//!   and the broker state machine;
+//! * [`StrategyRegistry`] — name-based lookup used by command-line binaries
+//!   and sweep helpers, open for user-defined registrations.
+//!
+//! The five paper strategies ([`Fifo`], [`RemainingLifetime`], [`MaxEb`],
+//! [`MaxPc`], [`MaxEbpc`]) are provided here, plus [`WeightedComposite`], a
+//! non-paper blend of expected benefit and urgency demonstrating that the
+//! strategy family is open. User crates implement the trait on their own
+//! types and pass them to the simulation through a handle — see
+//! `examples/custom_strategy.rs` in the workspace root.
 
-use crate::config::{SchedulerConfig, StrategyKind};
+use crate::config::SchedulerConfig;
 use crate::metrics;
 use crate::queue::QueuedMessage;
-use bdps_types::time::SimTime;
+use bdps_types::time::{Duration, SimTime};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Everything a strategy needs to score one queued message.
+///
+/// The context is a plain-data snapshot taken once per scheduling decision;
+/// it deliberately does not borrow the configuration so that strategies can
+/// be scored in batch without aliasing the queue.
 #[derive(Debug, Clone, Copy)]
 pub struct ScheduleContext {
     /// The current simulated time.
     pub now: SimTime,
-    /// The broker's scheduler configuration.
-    pub config: SchedulerConfig,
+    /// The per-broker, per-message processing delay `PD` (§3.2).
+    pub processing_delay: Duration,
+    /// The EB weight `r` of the EBPC metric (eq. 10).
+    pub ebpc_weight: f64,
+    /// Average message size in KB (used for the `FT` estimate).
+    pub avg_message_size_kb: f64,
     /// The `FT` estimate for the queue being scheduled (average message size
     /// times the link's mean per-KB rate), used by PC and EBPC.
     pub first_send_estimate_ms: f64,
 }
 
 impl ScheduleContext {
-    /// The priority of a queued message under the configured strategy —
-    /// larger is "send sooner".
-    pub fn priority(&self, item: &QueuedMessage) -> f64 {
-        let pd = self.config.processing_delay;
-        match self.config.strategy {
-            StrategyKind::Fifo => {
-                // Earlier enqueue time wins; negate so larger = earlier.
-                -(item.enqueue_time.as_micros() as f64)
-            }
-            StrategyKind::RemainingLifetime => {
-                // Minimum (average) remaining lifetime first.
-                -item.avg_remaining_lifetime_ms(self.now)
-            }
-            StrategyKind::MaxEb => {
-                metrics::expected_benefit(&item.message, &item.targets, self.now, pd)
-            }
-            StrategyKind::MaxPc => metrics::postponing_cost(
-                &item.message,
-                &item.targets,
-                self.now,
-                pd,
-                self.first_send_estimate_ms,
-            ),
-            StrategyKind::MaxEbpc => metrics::ebpc(
-                &item.message,
-                &item.targets,
-                self.now,
-                pd,
-                self.first_send_estimate_ms,
-                self.config.ebpc_weight,
-            ),
+    /// Builds a context from the scheduler configuration and the queue's
+    /// first-send estimate.
+    pub fn new(now: SimTime, config: &SchedulerConfig, first_send_estimate_ms: f64) -> Self {
+        ScheduleContext {
+            now,
+            processing_delay: config.processing_delay,
+            ebpc_weight: config.ebpc_weight,
+            avg_message_size_kb: config.avg_message_size_kb,
+            first_send_estimate_ms,
         }
+    }
+}
+
+/// A scheduling strategy: a priority function over queued messages.
+///
+/// Implementations must be deterministic — the same `(ctx, item)` pair must
+/// always produce the same score — and return finite values for valid inputs
+/// (messages whose targets carry bounded deadlines), because the queue
+/// compares scores with `>` and ties are broken by arrival order.
+pub trait SchedulingStrategy: Send + Sync + fmt::Debug {
+    /// The strategy's display name (e.g. `"EB"`), used in reports, registry
+    /// lookups and equality checks between handles.
+    fn name(&self) -> &str;
+
+    /// The priority of one queued message — larger means "send sooner".
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64;
+
+    /// Scores a whole queue in one pass, appending one score per item (in
+    /// order) to `scores`, which arrives empty.
+    ///
+    /// The default implementation calls [`priority`](Self::priority) per
+    /// item; strategies with shared per-queue work (normalisation terms,
+    /// cached link statistics) can override this to amortise it — the output
+    /// queue always selects through this hook on the hot path.
+    fn score_all(&self, ctx: &ScheduleContext, items: &[QueuedMessage], scores: &mut Vec<f64>) {
+        scores.extend(items.iter().map(|item| self.priority(ctx, item)));
+    }
+
+    /// Whether the strategy consults the probabilistic link model. FIFO and
+    /// RL do not, which also drives the §5.4 default that they only delete
+    /// already-expired messages.
+    fn uses_link_model(&self) -> bool {
+        true
+    }
+}
+
+/// First-in, first-out (baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedulingStrategy for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn priority(&self, _ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        // Earlier enqueue time wins; negate so larger = earlier.
+        -(item.enqueue_time.as_micros() as f64)
+    }
+
+    fn uses_link_model(&self) -> bool {
+        false
+    }
+}
+
+/// Minimum remaining lifetime first (baseline; "RL" in the paper). For a
+/// message matching several subscriptions the average remaining lifetime is
+/// used, as in §6.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemainingLifetime;
+
+impl SchedulingStrategy for RemainingLifetime {
+    fn name(&self) -> &str {
+        "RL"
+    }
+
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        -item.avg_remaining_lifetime_ms(ctx.now)
+    }
+
+    fn uses_link_model(&self) -> bool {
+        false
+    }
+}
+
+/// Maximum Expected Benefit first (§5.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxEb;
+
+impl SchedulingStrategy for MaxEb {
+    fn name(&self) -> &str {
+        "EB"
+    }
+
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        metrics::expected_benefit(&item.message, &item.targets, ctx.now, ctx.processing_delay)
+    }
+}
+
+/// Maximum Postponing Cost first (§5.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxPc;
+
+impl SchedulingStrategy for MaxPc {
+    fn name(&self) -> &str {
+        "PC"
+    }
+
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        metrics::postponing_cost(
+            &item.message,
+            &item.targets,
+            ctx.now,
+            ctx.processing_delay,
+            ctx.first_send_estimate_ms,
+        )
+    }
+}
+
+/// Maximum `r·EB + (1−r)·PC` first (§5.3); `r` is read from the
+/// [`ScheduleContext`] so that configuration-level weight sweeps keep
+/// working.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxEbpc;
+
+impl SchedulingStrategy for MaxEbpc {
+    fn name(&self) -> &str {
+        "EBPC"
+    }
+
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        metrics::ebpc(
+            &item.message,
+            &item.targets,
+            ctx.now,
+            ctx.processing_delay,
+            ctx.first_send_estimate_ms,
+            ctx.ebpc_weight,
+        )
+    }
+}
+
+/// A non-paper strategy blending Expected Benefit with deadline urgency:
+/// `w·EB + (1−w)·urgency`, where `urgency = 1 / (1 + avg remaining lifetime
+/// in seconds)` lies in `(0, 1]` and grows as deadlines approach.
+///
+/// EB alone starves messages whose success probability has decayed but that
+/// could still be rescued; pure RL ignores value. The blend sends valuable
+/// messages early while still bumping urgent ones up the queue. It exists
+/// mainly to demonstrate that the strategy family is open — it is registered
+/// under `"composite"` in [`StrategyRegistry::builtin`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedComposite {
+    /// Weight of the EB term, in `[0, 1]`.
+    pub eb_weight: f64,
+}
+
+impl WeightedComposite {
+    /// Creates the composite with the given EB weight (clamped to `[0, 1]`).
+    pub fn new(eb_weight: f64) -> Self {
+        WeightedComposite {
+            eb_weight: eb_weight.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for WeightedComposite {
+    fn default() -> Self {
+        WeightedComposite::new(0.5)
+    }
+}
+
+impl SchedulingStrategy for WeightedComposite {
+    fn name(&self) -> &str {
+        "COMPOSITE"
+    }
+
+    fn priority(&self, ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        let eb =
+            metrics::expected_benefit(&item.message, &item.targets, ctx.now, ctx.processing_delay);
+        // `avg_remaining_lifetime_ms` is +∞ for purely best-effort targets,
+        // for which the urgency term cleanly vanishes.
+        let urgency = 1.0 / (1.0 + item.avg_remaining_lifetime_ms(ctx.now) / 1_000.0);
+        self.eb_weight * eb + (1.0 - self.eb_weight) * urgency
+    }
+}
+
+/// A cheaply clonable, type-erased handle to a scheduling strategy.
+///
+/// This is what gets threaded through [`SchedulerConfig`], the output queues
+/// and the broker state machine. Handles compare equal when their strategies
+/// report the same [`name`](SchedulingStrategy::name), which also makes them
+/// comparable against [`StrategyKind`](crate::config::StrategyKind) in tests
+/// and compatibility code.
+#[derive(Clone)]
+pub struct StrategyHandle(Arc<dyn SchedulingStrategy>);
+
+impl StrategyHandle {
+    /// Wraps a concrete strategy.
+    pub fn new(strategy: impl SchedulingStrategy + 'static) -> Self {
+        StrategyHandle(Arc::new(strategy))
+    }
+
+    /// Wraps an already shared strategy.
+    pub fn from_arc(strategy: Arc<dyn SchedulingStrategy>) -> Self {
+        StrategyHandle(strategy)
+    }
+
+    /// Short label used in experiment tables ("EB", "PC", "EBPC", "FIFO",
+    /// "RL", ...).
+    pub fn label(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl Deref for StrategyHandle {
+    type Target = dyn SchedulingStrategy;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for StrategyHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StrategyHandle({:?})", &*self.0)
+    }
+}
+
+impl fmt::Display for StrategyHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0.name())
+    }
+}
+
+impl PartialEq for StrategyHandle {
+    /// Two handles are equal when they share the strategy instance, or when
+    /// name *and* `Debug` representation agree — the latter catches
+    /// differently-parameterised instances of the same strategy type (e.g.
+    /// two [`WeightedComposite`]s with different weights), which must not
+    /// compare equal just because they share a display name.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.name() == other.0.name()
+                && format!("{:?}", &*self.0) == format!("{:?}", &*other.0))
+    }
+}
+
+impl PartialEq<crate::config::StrategyKind> for StrategyHandle {
+    fn eq(&self, kind: &crate::config::StrategyKind) -> bool {
+        self.0.name() == kind.label()
+    }
+}
+
+impl<S: SchedulingStrategy + 'static> From<S> for StrategyHandle {
+    fn from(strategy: S) -> Self {
+        StrategyHandle::new(strategy)
+    }
+}
+
+type StrategyFactory = Box<dyn Fn() -> StrategyHandle + Send + Sync>;
+
+struct RegistryEntry {
+    name: String,
+    aliases: Vec<String>,
+    factory: StrategyFactory,
+}
+
+/// Name-based strategy lookup for command-line binaries and sweeps.
+///
+/// [`StrategyRegistry::builtin`] knows every strategy shipped with the crate;
+/// applications [`register`](StrategyRegistry::register) their own on top.
+/// Lookups are case-insensitive and also match a strategy's display label,
+/// so `"eb"`, `"EB"` and `"Eb"` all resolve the same.
+pub struct StrategyRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl StrategyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        StrategyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry containing every built-in strategy, under the canonical
+    /// names `fifo`, `rl`, `eb`, `pc`, `ebpc` and `composite`.
+    pub fn builtin() -> Self {
+        let mut r = StrategyRegistry::new();
+        r.register_with_aliases("fifo", &[], || StrategyHandle::new(Fifo));
+        r.register_with_aliases("rl", &["remaining-lifetime"], || {
+            StrategyHandle::new(RemainingLifetime)
+        });
+        r.register_with_aliases("eb", &["expected-benefit"], || StrategyHandle::new(MaxEb));
+        r.register_with_aliases("pc", &["postponing-cost"], || StrategyHandle::new(MaxPc));
+        r.register_with_aliases("ebpc", &[], || StrategyHandle::new(MaxEbpc));
+        r.register_with_aliases("composite", &["weighted", "weighted-composite"], || {
+            StrategyHandle::new(WeightedComposite::default())
+        });
+        r
+    }
+
+    /// Registers a strategy factory under a canonical name. A later
+    /// registration under the same name shadows an earlier one.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> StrategyHandle + Send + Sync + 'static,
+    ) {
+        self.register_with_aliases(name, &[], factory);
+    }
+
+    /// Registers a strategy factory under a canonical name plus aliases.
+    pub fn register_with_aliases(
+        &mut self,
+        name: impl Into<String>,
+        aliases: &[&str],
+        factory: impl Fn() -> StrategyHandle + Send + Sync + 'static,
+    ) {
+        self.entries.push(RegistryEntry {
+            name: name.into().to_ascii_lowercase(),
+            aliases: aliases.iter().map(|a| a.to_ascii_lowercase()).collect(),
+            factory: Box::new(factory),
+        });
+    }
+
+    /// Resolves a name (canonical, alias or display label, case-insensitive)
+    /// to a fresh strategy handle.
+    pub fn resolve(&self, name: &str) -> Option<StrategyHandle> {
+        let wanted = name.to_ascii_lowercase();
+        // Later registrations shadow earlier ones.
+        for entry in self.entries.iter().rev() {
+            if entry.name == wanted || entry.aliases.contains(&wanted) {
+                return Some((entry.factory)());
+            }
+        }
+        for entry in self.entries.iter().rev() {
+            if (entry.factory)().label().to_ascii_lowercase() == wanted {
+                return Some((entry.factory)());
+            }
+        }
+        None
+    }
+
+    /// The canonical names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> Self {
+        StrategyRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for StrategyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrategyRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::StrategyKind;
     use crate::queue::MatchedTarget;
     use bdps_overlay::pathstats::PathStats;
     use bdps_stats::normal::Normal;
@@ -68,7 +429,6 @@ mod tests {
     use bdps_types::message::Message;
     use bdps_types::money::Price;
     use bdps_types::time::Duration;
-    use std::sync::Arc;
 
     fn item(id: u64, enqueue_secs: u64, allowed_secs: u64, price: i64, hops: u32) -> QueuedMessage {
         let mut stats = PathStats::local();
@@ -93,53 +453,134 @@ mod tests {
         }
     }
 
-    fn ctx(strategy: StrategyKind) -> ScheduleContext {
+    fn ctx() -> ScheduleContext {
         ScheduleContext {
             now: SimTime::from_secs(2),
-            config: SchedulerConfig::paper(strategy),
+            processing_delay: Duration::from_millis(2),
+            ebpc_weight: 0.5,
+            avg_message_size_kb: 50.0,
             first_send_estimate_ms: 50.0 * 75.0,
         }
     }
 
+    fn p(strategy: &dyn SchedulingStrategy, item: &QueuedMessage) -> f64 {
+        strategy.priority(&ctx(), item)
+    }
+
     #[test]
     fn fifo_prefers_older_items() {
-        let c = ctx(StrategyKind::Fifo);
-        assert!(c.priority(&item(1, 1, 30, 1, 1)) > c.priority(&item(2, 5, 10, 3, 1)));
+        assert!(p(&Fifo, &item(1, 1, 30, 1, 1)) > p(&Fifo, &item(2, 5, 10, 3, 1)));
     }
 
     #[test]
     fn rl_prefers_shorter_lifetimes() {
-        let c = ctx(StrategyKind::RemainingLifetime);
-        assert!(c.priority(&item(1, 0, 10, 1, 1)) > c.priority(&item(2, 0, 60, 1, 1)));
+        let s = RemainingLifetime;
+        assert!(p(&s, &item(1, 0, 10, 1, 1)) > p(&s, &item(2, 0, 60, 1, 1)));
     }
 
     #[test]
     fn eb_prefers_higher_prices_and_better_odds() {
-        let c = ctx(StrategyKind::MaxEb);
         // Same odds, higher price wins.
-        assert!(c.priority(&item(1, 0, 30, 3, 1)) > c.priority(&item(2, 0, 30, 1, 1)));
+        assert!(p(&MaxEb, &item(1, 0, 30, 3, 1)) > p(&MaxEb, &item(2, 0, 30, 1, 1)));
         // Same price, shorter path (better odds) wins.
-        assert!(c.priority(&item(3, 0, 10, 1, 1)) > c.priority(&item(4, 0, 10, 1, 3)));
+        assert!(p(&MaxEb, &item(3, 0, 10, 1, 1)) > p(&MaxEb, &item(4, 0, 10, 1, 3)));
     }
 
     #[test]
     fn pc_prefers_urgent_over_safe() {
-        let c = ctx(StrategyKind::MaxPc);
         // The 8 s deadline message loses real probability if postponed; the
         // 60 s one does not.
-        assert!(c.priority(&item(1, 0, 8, 1, 1)) > c.priority(&item(2, 0, 60, 1, 1)));
+        assert!(p(&MaxPc, &item(1, 0, 8, 1, 1)) > p(&MaxPc, &item(2, 0, 60, 1, 1)));
     }
 
     #[test]
     fn ebpc_extremes_match_components() {
         let urgent = item(1, 0, 8, 1, 1);
         let safe = item(2, 0, 60, 1, 1);
-        let mut c = ctx(StrategyKind::MaxEbpc);
-        c.config.ebpc_weight = 1.0;
-        let eb_ctx = ctx(StrategyKind::MaxEb);
-        assert!((c.priority(&urgent) - eb_ctx.priority(&urgent)).abs() < 1e-12);
-        c.config.ebpc_weight = 0.0;
-        let pc_ctx = ctx(StrategyKind::MaxPc);
-        assert!((c.priority(&safe) - pc_ctx.priority(&safe)).abs() < 1e-12);
+        let mut c = ctx();
+        c.ebpc_weight = 1.0;
+        assert!((MaxEbpc.priority(&c, &urgent) - p(&MaxEb, &urgent)).abs() < 1e-12);
+        c.ebpc_weight = 0.0;
+        assert!((MaxEbpc.priority(&c, &safe) - p(&MaxPc, &safe)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_blends_value_and_urgency() {
+        let c = ctx();
+        // Pure EB weight reproduces EB.
+        let eb_only = WeightedComposite::new(1.0);
+        let x = item(1, 0, 30, 3, 1);
+        assert!((eb_only.priority(&c, &x) - p(&MaxEb, &x)).abs() < 1e-12);
+        // Pure urgency weight prefers the tighter deadline regardless of price.
+        let urgency_only = WeightedComposite::new(0.0);
+        assert!(
+            urgency_only.priority(&c, &item(1, 0, 8, 1, 1))
+                > urgency_only.priority(&c, &item(2, 0, 60, 3, 1))
+        );
+        // Weights outside [0, 1] are clamped.
+        assert_eq!(WeightedComposite::new(7.0).eb_weight, 1.0);
+    }
+
+    #[test]
+    fn score_all_default_matches_priority() {
+        let items = vec![
+            item(1, 0, 10, 1, 1),
+            item(2, 1, 30, 2, 2),
+            item(3, 2, 60, 3, 1),
+        ];
+        let c = ctx();
+        for strategy in [
+            StrategyHandle::new(Fifo),
+            StrategyHandle::new(RemainingLifetime),
+            StrategyHandle::new(MaxEb),
+            StrategyHandle::new(MaxPc),
+            StrategyHandle::new(MaxEbpc),
+            StrategyHandle::new(WeightedComposite::default()),
+        ] {
+            let mut scores = Vec::new();
+            strategy.score_all(&c, &items, &mut scores);
+            assert_eq!(scores.len(), items.len());
+            for (s, i) in scores.iter().zip(items.iter()) {
+                assert_eq!(*s, strategy.priority(&c, i), "{}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_compare_by_name() {
+        let a = StrategyHandle::new(MaxEb);
+        let b = StrategyKind::MaxEb.resolve();
+        assert_eq!(a, b);
+        assert_eq!(a, StrategyKind::MaxEb);
+        assert_ne!(a, StrategyHandle::new(Fifo));
+        assert_eq!(a.to_string(), "EB");
+        assert!(format!("{a:?}").contains("MaxEb"));
+        // Differently-parameterised instances of the same strategy type are
+        // not equal; identically-parameterised ones are.
+        let light = StrategyHandle::new(WeightedComposite::new(0.1));
+        let heavy = StrategyHandle::new(WeightedComposite::new(0.9));
+        assert_ne!(light, heavy);
+        assert_eq!(light, StrategyHandle::new(WeightedComposite::new(0.1)));
+        assert_eq!(light.clone(), light);
+    }
+
+    #[test]
+    fn registry_resolves_builtins_and_custom_registrations() {
+        let mut registry = StrategyRegistry::builtin();
+        for name in ["fifo", "rl", "eb", "pc", "ebpc", "composite"] {
+            let handle = registry.resolve(name).expect(name);
+            assert!(registry.resolve(handle.label()).is_some(), "{name} label");
+        }
+        // Aliases and case-insensitivity.
+        assert_eq!(
+            registry.resolve("REMAINING-LIFETIME").unwrap(),
+            StrategyKind::RemainingLifetime
+        );
+        assert_eq!(registry.resolve("Weighted").unwrap().label(), "COMPOSITE");
+        assert!(registry.resolve("nope").is_none());
+        // Custom registration shadows by name.
+        registry.register("eb", || StrategyHandle::new(Fifo));
+        assert_eq!(registry.resolve("eb").unwrap().label(), "FIFO");
+        assert_eq!(registry.names().len(), 7);
     }
 }

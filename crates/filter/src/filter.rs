@@ -228,10 +228,7 @@ impl FilterExpr {
                 FilterExpr::Not(_) => go(&expr.to_nnf()),
             }
         }
-        go(&self.to_nnf())
-            .into_iter()
-            .map(Filter::new)
-            .collect()
+        go(&self.to_nnf()).into_iter().map(Filter::new).collect()
     }
 
     /// Convenience constructor for a conjunction of two expressions.
@@ -245,6 +242,7 @@ impl FilterExpr {
     }
 
     /// Convenience constructor for a negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: FilterExpr) -> FilterExpr {
         FilterExpr::Not(Box::new(a))
     }
@@ -261,7 +259,13 @@ impl From<Filter> for FilterExpr {
         if f.is_empty() {
             FilterExpr::True
         } else {
-            FilterExpr::And(f.predicates().iter().cloned().map(FilterExpr::Pred).collect())
+            FilterExpr::And(
+                f.predicates()
+                    .iter()
+                    .cloned()
+                    .map(FilterExpr::Pred)
+                    .collect(),
+            )
         }
     }
 }

@@ -31,9 +31,7 @@ struct ThresholdList {
 
 impl ThresholdList {
     fn insert(&mut self, threshold: f64, sub: SubscriptionId) {
-        let pos = self
-            .entries
-            .partition_point(|(t, _)| *t < threshold);
+        let pos = self.entries.partition_point(|(t, _)| *t < threshold);
         self.entries.insert(pos, (threshold, sub));
     }
 
@@ -146,10 +144,7 @@ impl MatchIndex {
         }
         self.pred_counts.insert(id, filter.len());
         for pred in filter.predicates() {
-            let attr_index = self
-                .attrs
-                .entry(pred.attr.as_str().to_owned())
-                .or_default();
+            let attr_index = self.attrs.entry(pred.attr.as_str().to_owned()).or_default();
             match (pred.op, pred.value.as_f64()) {
                 (CompOp::Lt, Some(c)) => attr_index.lt.insert(c, id),
                 (CompOp::Le, Some(c)) => attr_index.le.insert(c, id),
@@ -169,11 +164,8 @@ impl MatchIndex {
         self.attrs.clear();
         self.pred_counts.clear();
         self.match_all.clear();
-        let existing: Vec<(SubscriptionId, Filter)> = self
-            .filters
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let existing: Vec<(SubscriptionId, Filter)> =
+            self.filters.iter().map(|(k, v)| (*k, v.clone())).collect();
         for (sid, filter) in existing {
             self.index_filter(sid, &filter);
         }
@@ -384,7 +376,7 @@ mod tests {
 
     #[test]
     fn from_subscriptions_constructor() {
-        let filters = vec![
+        let filters = [
             (id(1), Filter::from(Predicate::lt("A1", 5.0))),
             (id(2), Filter::from(Predicate::gt("A1", 2.0))),
         ];

@@ -130,9 +130,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => {
-                            return Err(BdpsError::FilterParse("unterminated string".into()))
-                        }
+                        None => return Err(BdpsError::FilterParse("unterminated string".into())),
                     }
                 }
                 tokens.push(Token::Str(s));

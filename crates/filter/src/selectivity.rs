@@ -95,10 +95,7 @@ impl SelectivityModel {
 
     /// Estimated average fraction of a subscription population that a random
     /// message matches.
-    pub fn population_selectivity<'a>(
-        &self,
-        filters: impl IntoIterator<Item = &'a Filter>,
-    ) -> f64 {
+    pub fn population_selectivity<'a>(&self, filters: impl IntoIterator<Item = &'a Filter>) -> f64 {
         let mut total = 0.0;
         let mut count = 0usize;
         for f in filters {

@@ -188,8 +188,10 @@ mod tests {
         let m = NormalRate::new(75.0, 20.0);
         let mut rng = SimRng::seed_from(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| m.sample_transfer_ms(1.0, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_transfer_ms(1.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 75.0).abs() < 0.5, "mean = {mean}");
     }
 

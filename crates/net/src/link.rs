@@ -102,8 +102,7 @@ mod tests {
 
     #[test]
     fn link_quality_sampling_includes_propagation() {
-        let q = LinkQuality::new(FixedRate::new(10.0))
-            .with_propagation(Duration::from_millis(5));
+        let q = LinkQuality::new(FixedRate::new(10.0)).with_propagation(Duration::from_millis(5));
         let mut rng = SimRng::seed_from(1);
         let t = q.sample_transfer(2.0, &mut rng);
         assert_eq!(t, Duration::from_millis(25));

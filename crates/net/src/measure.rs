@@ -29,13 +29,7 @@ impl LinkEstimator {
 
     /// Actively probes the given true model `n` times with `probe_kb`-sized
     /// probes, feeding the observed per-KB rates into the estimator.
-    pub fn probe(
-        &mut self,
-        model: &dyn BandwidthModel,
-        n: usize,
-        probe_kb: f64,
-        rng: &mut SimRng,
-    ) {
+    pub fn probe(&mut self, model: &dyn BandwidthModel, n: usize, probe_kb: f64, rng: &mut SimRng) {
         assert!(probe_kb > 0.0, "probe size must be positive");
         for _ in 0..n {
             let ms = model.sample_transfer_ms(probe_kb, rng);

@@ -225,9 +225,7 @@ impl OverlayGraph {
             }
         }
         if self.brokers.len() > 1 && !self.is_connected() {
-            return Err(BdpsError::InvalidTopology(
-                "graph is not connected".into(),
-            ));
+            return Err(BdpsError::InvalidTopology("graph is not connected".into()));
         }
         Ok(())
     }
@@ -308,7 +306,10 @@ mod tests {
         assert_eq!(g.edge_brokers(), vec![BrokerId::new(2)]);
         assert!(g.broker(BrokerId::new(2)).is_edge());
         assert!(g.broker(BrokerId::new(0)).is_publisher_broker());
-        assert_eq!(g.publisher_broker(PublisherId::new(0)), Some(BrokerId::new(0)));
+        assert_eq!(
+            g.publisher_broker(PublisherId::new(0)),
+            Some(BrokerId::new(0))
+        );
         assert_eq!(g.publisher_broker(PublisherId::new(9)), None);
         assert_eq!(
             g.subscriber_broker(SubscriberId::new(1)),

@@ -113,9 +113,7 @@ impl Routing {
                 let candidate = d + weight;
                 let better = candidate < dist[u.index()]
                     || (candidate == dist[u.index()]
-                        && entry[u.index()]
-                            .map(|e| v < e.next_hop)
-                            .unwrap_or(true));
+                        && entry[u.index()].map(|e| v < e.next_hop).unwrap_or(true));
                 if better {
                     dist[u.index()] = candidate;
                     // Path stats of u: the link u -> v followed by v's path.

@@ -54,7 +54,7 @@ impl LayeredMeshConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
-        if self.layer_sizes.is_empty() || self.layer_sizes.iter().any(|&s| s == 0) {
+        if self.layer_sizes.is_empty() || self.layer_sizes.contains(&0) {
             return Err(BdpsError::InvalidConfig(
                 "every layer must contain at least one broker".into(),
             ));
@@ -424,7 +424,10 @@ mod tests {
         assert_eq!(topo.publishers.len(), 1);
         assert_eq!(topo.subscribers.len(), 8);
         assert!(topo.graph.validate().is_ok());
-        assert_eq!(topo.publisher_broker(PublisherId::new(0)), Some(BrokerId::new(0)));
+        assert_eq!(
+            topo.publisher_broker(PublisherId::new(0)),
+            Some(BrokerId::new(0))
+        );
     }
 
     #[test]

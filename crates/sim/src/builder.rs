@@ -1,0 +1,375 @@
+//! The fluent experiment builder.
+//!
+//! [`SimulationBuilder`] is the one way to assemble a run — topology,
+//! workload, strategy, seed — with sensible paper defaults for everything
+//! left unsaid:
+//!
+//! ```no_run
+//! use bdps_sim::engine::Simulation;
+//! use bdps_core::config::StrategyKind;
+//! use bdps_types::time::Duration;
+//!
+//! let report = Simulation::builder()
+//!     .ssd(10.0)
+//!     .duration(Duration::from_secs(600))
+//!     .strategy(StrategyKind::MaxEb)
+//!     .seed(42)
+//!     .report();
+//! println!("delivery rate: {:.1} %", report.delivery_rate_percent());
+//! ```
+//!
+//! [`run`](crate::runner::run) and [`sweep`](crate::runner::sweep) are thin
+//! wrappers over this builder; a materialised [`SimulationConfig`] and the
+//! builder that produced it yield bit-identical results because both go
+//! through [`SimulationBuilder::build`] with the same RNG stream discipline.
+
+use bdps_core::config::{InvalidDetection, SchedulerConfig};
+use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
+use bdps_net::measure::EstimationError;
+use bdps_overlay::topology::LayeredMeshConfig;
+use bdps_stats::rng::SimRng;
+use bdps_types::error::{BdpsError, Result};
+use bdps_types::time::Duration;
+
+use crate::engine::Simulation;
+use crate::report::SimulationReport;
+use crate::runner::{SimulationConfig, TopologySpec};
+use crate::workload::WorkloadConfig;
+
+/// Fluent construction of one simulation run.
+///
+/// Every setter returns `self`, so experiments read as a single chained
+/// expression; see the [module docs](self) for an example. Defaults: the
+/// paper topology, the PSD workload at rate 10, the EB strategy with the
+/// paper's scheduler settings, seed 0.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    topology: TopologySpec,
+    workload: WorkloadConfig,
+    scheduler: SchedulerConfig,
+    /// Whether the user pinned the detection policy (or supplied a whole
+    /// scheduler config); when they did not, the §5.4 paper rule applies:
+    /// strategies without a link model only delete already-expired messages.
+    detection_pinned: bool,
+    /// A duration set with [`duration`](Self::duration); kept separate from
+    /// the workload so it survives a later `.workload()`/`.psd()`/`.ssd()`
+    /// call (setter order must not matter).
+    duration_override: Option<Duration>,
+    seed: u64,
+    estimation_error: EstimationError,
+    drain_grace: Option<Duration>,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            topology: TopologySpec::Paper,
+            workload: WorkloadConfig::paper_psd(10.0),
+            scheduler: SchedulerConfig::default(),
+            detection_pinned: false,
+            duration_override: None,
+            seed: 0,
+            estimation_error: EstimationError::NONE,
+            drain_grace: None,
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts from the paper defaults (equivalent to `Simulation::builder()`).
+    pub fn new() -> Self {
+        SimulationBuilder::default()
+    }
+
+    /// Reconstructs a builder from a materialised configuration. Running the
+    /// result reproduces `runner::run(&config)` exactly.
+    pub fn from_config(config: &SimulationConfig) -> Self {
+        SimulationBuilder {
+            topology: config.topology.clone(),
+            workload: config.workload.clone(),
+            scheduler: config.scheduler.clone(),
+            detection_pinned: true,
+            duration_override: None,
+            seed: config.seed,
+            estimation_error: config.estimation_error,
+            drain_grace: None,
+        }
+    }
+
+    /// Sets the overlay topology specification.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Uses the paper's 32-broker layered mesh (the default).
+    pub fn paper_topology(self) -> Self {
+        self.topology(TopologySpec::Paper)
+    }
+
+    /// Uses a layered mesh with the given configuration.
+    pub fn layered_mesh(self, config: LayeredMeshConfig) -> Self {
+        self.topology(TopologySpec::LayeredMesh(config))
+    }
+
+    /// Sets the full workload configuration.
+    pub fn workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Uses the paper's publisher-specified-delay workload at the given
+    /// publishing rate (messages per publisher per minute).
+    pub fn psd(self, publishing_rate_per_min: f64) -> Self {
+        self.workload(WorkloadConfig::paper_psd(publishing_rate_per_min))
+    }
+
+    /// Uses the paper's subscriber-specified-delay workload at the given
+    /// publishing rate.
+    pub fn ssd(self, publishing_rate_per_min: f64) -> Self {
+        self.workload(WorkloadConfig::paper_ssd(publishing_rate_per_min))
+    }
+
+    /// Shortens (or lengthens) the publication period. Applies regardless of
+    /// whether the workload is set before or after this call.
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration_override = Some(duration);
+        self
+    }
+
+    /// Sets the scheduling strategy — a
+    /// [`StrategyKind`](bdps_core::config::StrategyKind), a
+    /// [`StrategyHandle`], or any type implementing
+    /// [`SchedulingStrategy`](bdps_core::strategy::SchedulingStrategy).
+    pub fn strategy(mut self, strategy: impl Into<StrategyHandle>) -> Self {
+        self.scheduler.strategy = strategy.into();
+        self
+    }
+
+    /// Resolves a strategy by name through the built-in
+    /// [`StrategyRegistry`] (`"fifo"`, `"rl"`, `"eb"`, `"pc"`, `"ebpc"`,
+    /// `"composite"`, their aliases or display labels).
+    pub fn strategy_named(self, name: &str) -> Result<Self> {
+        self.strategy_from(&StrategyRegistry::builtin(), name)
+    }
+
+    /// Resolves a strategy by name through a caller-supplied registry, so
+    /// user-registered strategies are reachable from configuration files and
+    /// command lines.
+    pub fn strategy_from(mut self, registry: &StrategyRegistry, name: &str) -> Result<Self> {
+        let handle = registry.resolve(name).ok_or_else(|| {
+            BdpsError::InvalidConfig(format!(
+                "unknown strategy {name:?} (known: {})",
+                registry.names().join(", ")
+            ))
+        })?;
+        self.scheduler.strategy = handle;
+        Ok(self)
+    }
+
+    /// Sets the EBPC weight `r` (eq. 10).
+    pub fn ebpc_weight(mut self, r: f64) -> Self {
+        self.scheduler.ebpc_weight = r;
+        self
+    }
+
+    /// Pins the invalid-message detection policy, overriding the §5.4
+    /// default that link-model-free strategies only delete expired messages.
+    pub fn invalid_detection(mut self, policy: InvalidDetection) -> Self {
+        self.scheduler.invalid_detection = policy;
+        self.detection_pinned = true;
+        self
+    }
+
+    /// Replaces the whole scheduler configuration (strategy, `r`, ε, `PD`,
+    /// average message size). Implies the detection policy is pinned.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self.detection_pinned = true;
+        self
+    }
+
+    /// Sets the root RNG seed; topology, workload and scheduling randomness
+    /// all derive from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Applies a systematic bandwidth-estimation error: routing and the
+    /// schedulers' beliefs use perturbed link parameters while transfers
+    /// follow the true model (the `ablation_estimation` experiment).
+    pub fn estimation_error(mut self, error: EstimationError) -> Self {
+        self.estimation_error = error;
+        self
+    }
+
+    /// Sets how long after the publication period in-flight messages keep
+    /// being processed (default two minutes).
+    pub fn drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = Some(grace);
+        self
+    }
+
+    /// Materialises the run as a serialisable [`SimulationConfig`] (the form
+    /// sweeps and experiment binaries pass around).
+    pub fn build_config(&self) -> SimulationConfig {
+        let mut scheduler = self.scheduler.clone();
+        if !self.detection_pinned && !scheduler.strategy.uses_link_model() {
+            // §5.4: FIFO and RL have no probabilistic model to consult, so
+            // they only delete already-expired messages.
+            scheduler.invalid_detection = InvalidDetection::ExpiredOnly;
+        }
+        let mut workload = self.workload.clone();
+        if let Some(duration) = self.duration_override {
+            workload.duration = duration;
+        }
+        SimulationConfig {
+            topology: self.topology.clone(),
+            workload,
+            scheduler,
+            seed: self.seed,
+            estimation_error: self.estimation_error,
+        }
+    }
+
+    /// Builds the simulation, ready to [`run`](Simulation::run).
+    ///
+    /// The root seed is split into independent streams — stream 0 for
+    /// topology construction, stream 1 for simulation dynamics — so changing
+    /// the workload never perturbs the topology.
+    pub fn build(&self) -> Simulation {
+        let config = self.build_config();
+        let root = SimRng::seed_from(config.seed);
+        let mut topo_rng = root.split(0);
+        let sim_rng = root.split(1);
+        let topology = config.topology.build(&mut topo_rng);
+        let mut sim = Simulation::with_estimation_error(
+            topology,
+            config.workload,
+            config.scheduler,
+            sim_rng,
+            config.estimation_error,
+        );
+        if let Some(grace) = self.drain_grace {
+            sim = sim.with_drain_grace(grace);
+        }
+        sim
+    }
+
+    /// Builds, runs to completion and wraps the outcome in a
+    /// [`SimulationReport`].
+    pub fn report(&self) -> SimulationReport {
+        let config = self.build_config();
+        let outcome = self.build().run();
+        SimulationReport::from_outcome(
+            &outcome,
+            &config.scheduler.strategy,
+            config.scheduler.ebpc_weight,
+            config.workload.scenario,
+            &config.workload,
+            config.seed,
+        )
+    }
+}
+
+impl Simulation {
+    /// Starts fluent construction of a run; see [`SimulationBuilder`].
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use bdps_core::config::StrategyKind;
+
+    fn small(strategy: StrategyKind) -> SimulationBuilder {
+        Simulation::builder()
+            .layered_mesh(LayeredMeshConfig::small())
+            .ssd(6.0)
+            .duration(Duration::from_secs(180))
+            .strategy(strategy)
+            .seed(9)
+    }
+
+    #[test]
+    fn builder_matches_runner_run_exactly() {
+        for strategy in StrategyKind::ALL {
+            let builder = small(strategy);
+            let via_builder = builder.report();
+            let via_runner = runner::run(&builder.build_config());
+            assert_eq!(via_builder, via_runner, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn paper_detection_rule_applies_unless_pinned() {
+        let fifo = small(StrategyKind::Fifo).build_config();
+        assert_eq!(
+            fifo.scheduler.invalid_detection,
+            InvalidDetection::ExpiredOnly
+        );
+        let eb = small(StrategyKind::MaxEb).build_config();
+        assert_eq!(eb.scheduler.invalid_detection, InvalidDetection::PAPER);
+        let pinned = small(StrategyKind::Fifo)
+            .invalid_detection(InvalidDetection::Off)
+            .build_config();
+        assert_eq!(pinned.scheduler.invalid_detection, InvalidDetection::Off);
+    }
+
+    #[test]
+    fn duration_survives_later_workload_setters() {
+        let short = Duration::from_secs(60);
+        let before = Simulation::builder()
+            .duration(short)
+            .ssd(10.0)
+            .build_config();
+        let after = Simulation::builder()
+            .ssd(10.0)
+            .duration(short)
+            .build_config();
+        assert_eq!(before.workload.duration, short);
+        assert_eq!(before.workload, after.workload);
+        // An explicit workload set last without a duration call keeps its own.
+        let own = Simulation::builder()
+            .workload(WorkloadConfig::paper_ssd(10.0))
+            .build_config();
+        assert_eq!(own.workload.duration, Duration::from_secs(2 * 3600));
+    }
+
+    #[test]
+    fn from_config_round_trips() {
+        let config = small(StrategyKind::MaxEbpc).ebpc_weight(0.8).build_config();
+        let rebuilt = SimulationBuilder::from_config(&config).build_config();
+        assert_eq!(config, rebuilt);
+    }
+
+    #[test]
+    fn strategy_named_resolves_and_rejects() {
+        let b = Simulation::builder().strategy_named("rl").unwrap();
+        assert_eq!(
+            b.build_config().scheduler.strategy,
+            StrategyKind::RemainingLifetime
+        );
+        assert!(Simulation::builder().strategy_named("bogus").is_err());
+        let composite = Simulation::builder().strategy_named("composite").unwrap();
+        assert_eq!(
+            composite.build_config().scheduler.strategy.label(),
+            "COMPOSITE"
+        );
+    }
+
+    #[test]
+    fn ebpc_weight_and_drain_grace_thread_through() {
+        let b = small(StrategyKind::MaxEbpc)
+            .ebpc_weight(0.7)
+            .drain_grace(Duration::from_secs(30));
+        assert_eq!(b.build_config().scheduler.ebpc_weight, 0.7);
+        let report = b.report();
+        assert_eq!(report.ebpc_weight, 0.7);
+        assert_eq!(report.strategy, "EBPC");
+    }
+}

@@ -185,13 +185,12 @@ impl Simulation {
             }
             for l in topology.graph.links() {
                 let believed = estimation_error.apply(l.quality.rate_distribution());
-                let quality = bdps_net::link::LinkQuality::new(
-                    bdps_net::bandwidth::NormalRate::new(
+                let quality =
+                    bdps_net::link::LinkQuality::new(bdps_net::bandwidth::NormalRate::new(
                         believed.mean().max(0.01),
                         believed.std_dev(),
-                    ),
-                )
-                .with_propagation(l.quality.propagation);
+                    ))
+                    .with_propagation(l.quality.propagation);
                 g.add_link(l.from, l.to, quality);
             }
             g
@@ -217,14 +216,13 @@ impl Simulation {
         let brokers: Vec<BrokerState> = tables
             .into_iter()
             .map(|table| {
-                BrokerState::from_overlay(&believed_graph, table.broker(), table, scheduler)
+                BrokerState::from_overlay(&believed_graph, table.broker(), table, scheduler.clone())
             })
             .collect();
 
         // Global filter index used to count ts_i at publication time.
-        let global_index = MatchIndex::from_subscriptions(
-            subscriptions.iter().map(|(s, _)| (s.id, &s.filter)),
-        );
+        let global_index =
+            MatchIndex::from_subscriptions(subscriptions.iter().map(|(s, _)| (s.id, &s.filter)));
 
         // Link bookkeeping.
         let n = topology.graph.broker_count();
@@ -435,8 +433,7 @@ impl Simulation {
         };
         self.link_busy[link.index()] = true;
         self.transmissions += 1;
-        let scope: Vec<SubscriptionId> =
-            queued.targets.iter().map(|t| t.subscription).collect();
+        let scope: Vec<SubscriptionId> = queued.targets.iter().map(|t| t.subscription).collect();
         self.push_event(
             now + transfer,
             EventKind::SendComplete {
@@ -601,8 +598,7 @@ mod tests {
     fn congestion_lowers_delivery_rate_and_eb_beats_fifo() {
         // Slow links + high rate -> congestion. EB should deliver at least as
         // much as FIFO (usually strictly more).
-        let slow_quality =
-            |_rng: &mut SimRng| LinkQuality::new(FixedRate::new(80.0));
+        let slow_quality = |_rng: &mut SimRng| LinkQuality::new(FixedRate::new(80.0));
         let make = |strategy| {
             let topo = Topology::layered_mesh(
                 &LayeredMeshConfig::small(),
@@ -622,7 +618,10 @@ mod tests {
         };
         let eb = make(StrategyKind::MaxEb);
         let fifo = make(StrategyKind::Fifo);
-        assert!(eb.tracker.delivery_rate() < 1.0, "there should be congestion");
+        assert!(
+            eb.tracker.delivery_rate() < 1.0,
+            "there should be congestion"
+        );
         assert!(
             eb.tracker.delivery_rate() >= fifo.tracker.delivery_rate(),
             "EB {} should not be worse than FIFO {}",

@@ -11,18 +11,24 @@
 //!   message heads, subscription filters, PSD/SSD delay requirements);
 //! * [`engine`] — the event-driven simulation core (event queue, link
 //!   occupancy, broker driving, objective tracking);
-//! * [`runner`] — one-call experiment execution plus parallel parameter
-//!   sweeps across strategies, rates and seeds;
+//! * [`builder`] — the fluent [`SimulationBuilder`] experiment API
+//!   (`Simulation::builder().topology(..).workload(..).strategy(..).seed(..)`),
+//!   the one place runs are assembled;
+//! * [`runner`] — thin wrappers over the builder: one-call execution of a
+//!   materialised config plus parallel parameter sweeps across strategies,
+//!   rates and seeds;
 //! * [`report`] — result records and Markdown/CSV rendering helpers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use builder::SimulationBuilder;
 pub use engine::{Simulation, SimulationOutcome};
 pub use report::{render_csv, render_markdown_table, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
@@ -30,6 +36,7 @@ pub use workload::{ArrivalKind, Scenario, WorkloadConfig};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use crate::builder::SimulationBuilder;
     pub use crate::engine::{Simulation, SimulationOutcome};
     pub use crate::report::{render_csv, render_markdown_table, SimulationReport};
     pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};

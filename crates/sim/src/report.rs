@@ -1,6 +1,6 @@
 //! Result records and rendering helpers.
 
-use bdps_core::config::StrategyKind;
+use bdps_core::strategy::StrategyHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::SimulationOutcome;
@@ -47,7 +47,7 @@ impl SimulationReport {
     /// Builds a report from a finished simulation.
     pub fn from_outcome(
         outcome: &SimulationOutcome,
-        strategy: StrategyKind,
+        strategy: &StrategyHandle,
         ebpc_weight: f64,
         scenario: Scenario,
         workload: &WorkloadConfig,

@@ -1,17 +1,25 @@
 //! One-call experiment execution and parallel parameter sweeps.
 //!
-//! The paper's figures are produced by sweeping a grid of
-//! (strategy, publishing rate) or (strategy, EBPC weight) cells; each cell is
-//! an independent simulation, so the sweep runs cells on worker threads
-//! (crossbeam scoped threads) with one RNG stream per cell.
+//! [`run`] and [`sweep`] are thin wrappers over the fluent
+//! [`SimulationBuilder`](crate::builder::SimulationBuilder): a
+//! [`SimulationConfig`] is just a materialised builder, so both entry points
+//! produce bit-identical results for the same configuration. The paper's
+//! figures are produced by sweeping a grid of (strategy, publishing rate) or
+//! (strategy, EBPC weight) cells; each cell is an independent simulation, so
+//! the sweep runs cells on scoped worker threads with one RNG stream per
+//! cell.
 
-use bdps_core::config::{InvalidDetection, SchedulerConfig, StrategyKind};
+use bdps_core::config::{SchedulerConfig, StrategyKind};
+use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
 use bdps_net::link::LinkQuality;
+use bdps_net::measure::EstimationError;
 use bdps_overlay::topology::{LayeredMeshConfig, Topology};
 use bdps_stats::rng::SimRng;
+use bdps_types::error::Result;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
-use crate::engine::Simulation;
+use crate::builder::SimulationBuilder;
 use crate::report::SimulationReport;
 use crate::workload::WorkloadConfig;
 
@@ -38,7 +46,8 @@ impl TopologySpec {
     }
 }
 
-/// The full configuration of one simulation run.
+/// The full configuration of one simulation run — a materialised
+/// [`SimulationBuilder`](crate::builder::SimulationBuilder).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
     /// Topology specification.
@@ -50,6 +59,10 @@ pub struct SimulationConfig {
     /// Root RNG seed. Topology, workload and scheduling randomness all derive
     /// from it, so a config is fully reproducible.
     pub seed: u64,
+    /// Systematic bandwidth-estimation error applied to the schedulers'
+    /// believed link parameters ([`EstimationError::NONE`] for the paper's
+    /// exact-measurement assumption).
+    pub estimation_error: EstimationError,
 }
 
 impl SimulationConfig {
@@ -58,19 +71,12 @@ impl SimulationConfig {
     /// Following §5.4 the ε-based early deletion applies to the proposed
     /// strategies; the FIFO and RL baselines only delete already-expired
     /// messages (they have no probabilistic model to consult).
-    pub fn paper(strategy: StrategyKind, workload: WorkloadConfig, seed: u64) -> Self {
-        let scheduler = if strategy.uses_link_model() {
-            SchedulerConfig::paper(strategy)
-        } else {
-            SchedulerConfig::paper(strategy)
-                .with_invalid_detection(InvalidDetection::ExpiredOnly)
-        };
-        SimulationConfig {
-            topology: TopologySpec::Paper,
-            workload,
-            scheduler,
-            seed,
-        }
+    pub fn paper(strategy: impl Into<StrategyHandle>, workload: WorkloadConfig, seed: u64) -> Self {
+        SimulationBuilder::new()
+            .workload(workload)
+            .strategy(strategy)
+            .seed(seed)
+            .build_config()
     }
 
     /// Overrides the EBPC weight `r`.
@@ -82,28 +88,7 @@ impl SimulationConfig {
 
 /// Runs one simulation and returns its report.
 pub fn run(config: &SimulationConfig) -> SimulationReport {
-    let root = SimRng::seed_from(config.seed);
-    // Independent streams: topology construction vs. simulation dynamics, so
-    // that changing the publishing rate does not perturb the topology.
-    let mut topo_rng = root.split(0);
-    let sim_rng = root.split(1);
-    let topology = config.topology.build(&mut topo_rng);
-    let scenario = config.workload.scenario;
-    let outcome = Simulation::new(
-        topology,
-        config.workload.clone(),
-        config.scheduler,
-        sim_rng,
-    )
-    .run();
-    SimulationReport::from_outcome(
-        &outcome,
-        config.scheduler.strategy,
-        config.scheduler.ebpc_weight,
-        scenario,
-        &config.workload,
-        config.seed,
-    )
+    SimulationBuilder::from_config(config).report()
 }
 
 /// One cell of a sweep: a configuration plus an arbitrary label.
@@ -126,26 +111,29 @@ pub fn sweep(cells: &[SweepCell], threads: usize) -> Vec<(String, SimulationRepo
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<(String, SimulationReport)>>> =
-            (0..cells.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|scope| {
+        let slots: Vec<Mutex<Option<(String, SimulationReport)>>> =
+            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
             for _ in 0..threads.min(cells.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
                     }
                     let report = run(&cells[i].config);
-                    *slots[i].lock() = Some((cells[i].label.clone(), report));
+                    *slots[i].lock().expect("sweep slot poisoned") =
+                        Some((cells[i].label.clone(), report));
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
         for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner();
+            results[i] = slot.into_inner().expect("sweep slot poisoned");
         }
     }
-    results.into_iter().map(|r| r.expect("cell executed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("cell executed"))
+        .collect()
 }
 
 /// Builds the sweep cells for a strategy × publishing-rate grid over the
@@ -157,28 +145,76 @@ pub fn strategy_rate_grid(
     duration_secs: u64,
     seed: u64,
 ) -> Vec<SweepCell> {
+    let handles: Vec<StrategyHandle> = strategies.iter().map(|s| s.resolve()).collect();
+    strategy_rate_grid_with(&handles, rates, ssd, duration_secs, seed)
+}
+
+/// Like [`strategy_rate_grid`], but over arbitrary strategy handles (so
+/// user-defined strategies can ride the same sweep helpers).
+pub fn strategy_rate_grid_with(
+    strategies: &[StrategyHandle],
+    rates: &[f64],
+    ssd: bool,
+    duration_secs: u64,
+    seed: u64,
+) -> Vec<SweepCell> {
     let mut cells = Vec::new();
-    for &strategy in strategies {
+    for strategy in strategies {
         for &rate in rates {
-            let workload = if ssd {
-                WorkloadConfig::paper_ssd(rate)
-            } else {
-                WorkloadConfig::paper_psd(rate)
-            }
-            .with_duration(bdps_types::time::Duration::from_secs(duration_secs));
+            let builder = SimulationBuilder::new()
+                .workload(if ssd {
+                    WorkloadConfig::paper_ssd(rate)
+                } else {
+                    WorkloadConfig::paper_psd(rate)
+                })
+                .duration(bdps_types::time::Duration::from_secs(duration_secs))
+                .strategy(strategy.clone())
+                .seed(seed);
             cells.push(SweepCell {
                 label: format!("{}@rate{}", strategy.label(), rate),
-                config: SimulationConfig::paper(strategy, workload, seed),
+                config: builder.build_config(),
             });
         }
     }
     cells
 }
 
+/// Resolves strategy names through a registry and builds the corresponding
+/// strategy × rate grid — the entry point used by the CLI binaries'
+/// `--strategies` flag.
+pub fn strategy_rate_grid_named(
+    registry: &StrategyRegistry,
+    names: &[&str],
+    rates: &[f64],
+    ssd: bool,
+    duration_secs: u64,
+    seed: u64,
+) -> Result<Vec<SweepCell>> {
+    let handles: Vec<StrategyHandle> = names
+        .iter()
+        .map(|name| {
+            registry.resolve(name).ok_or_else(|| {
+                bdps_types::error::BdpsError::InvalidConfig(format!(
+                    "unknown strategy {name:?} (known: {})",
+                    registry.names().join(", ")
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(strategy_rate_grid_with(
+        &handles,
+        rates,
+        ssd,
+        duration_secs,
+        seed,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::Scenario;
+    use bdps_core::config::InvalidDetection;
     use bdps_types::time::Duration;
 
     fn quick_config(strategy: StrategyKind, rate: f64, ssd: bool, seed: u64) -> SimulationConfig {
@@ -258,13 +294,26 @@ mod tests {
             42,
         );
         assert_eq!(cells.len(), 6);
-        assert!(cells.iter().all(|c| c.config.topology == TopologySpec::Paper));
+        assert!(cells
+            .iter()
+            .all(|c| c.config.topology == TopologySpec::Paper));
         assert!(cells
             .iter()
             .any(|c| c.label == "EB@rate3" || c.label == "EB@rate3.0"));
         assert!(cells
             .iter()
             .all(|c| c.config.workload.duration == Duration::from_secs(600)));
+    }
+
+    #[test]
+    fn named_grid_resolves_through_the_registry() {
+        let registry = StrategyRegistry::builtin();
+        let cells = strategy_rate_grid_named(&registry, &["eb", "composite"], &[3.0], true, 600, 1)
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].config.scheduler.strategy.label(), "EB");
+        assert_eq!(cells[1].config.scheduler.strategy.label(), "COMPOSITE");
+        assert!(strategy_rate_grid_named(&registry, &["nope"], &[3.0], true, 600, 1).is_err());
     }
 
     #[test]

@@ -169,8 +169,7 @@ impl WorkloadConfig {
             self.scenario,
             Scenario::PublisherSpecified | Scenario::Combined
         ) {
-            let secs =
-                rng.uniform_range(self.psd_delay_range_secs.0, self.psd_delay_range_secs.1);
+            let secs = rng.uniform_range(self.psd_delay_range_secs.0, self.psd_delay_range_secs.1);
             builder = builder.publisher_bound(DelayBound::new(Duration::from_secs_f64(secs)));
         }
         builder.build()
@@ -187,12 +186,8 @@ impl WorkloadConfig {
     ) -> Subscription {
         let mut predicates = Vec::with_capacity(self.num_attributes);
         for i in 0..self.num_attributes {
-            let threshold =
-                rng.uniform_range(self.attribute_range.0, self.attribute_range.1);
-            predicates.push(Predicate::lt(
-                Self::attribute_name(i).as_str(),
-                threshold,
-            ));
+            let threshold = rng.uniform_range(self.attribute_range.0, self.attribute_range.1);
+            predicates.push(Predicate::lt(Self::attribute_name(i).as_str(), threshold));
         }
         let filter = Filter::new(predicates);
         match self.scenario {
@@ -211,9 +206,7 @@ impl WorkloadConfig {
         if self.publishing_rate_per_min <= 0.0 {
             None
         } else {
-            Some(Duration::from_secs_f64(
-                60.0 / self.publishing_rate_per_min,
-            ))
+            Some(Duration::from_secs_f64(60.0 / self.publishing_rate_per_min))
         }
     }
 
@@ -303,8 +296,7 @@ mod tests {
         assert!(m.publisher_bound.is_none());
         let mut seen_prices = std::collections::HashSet::new();
         for i in 0..200u32 {
-            let s =
-                w.generate_subscription(SubscriptionId::new(i), SubscriberId::new(i), &mut rng);
+            let s = w.generate_subscription(SubscriptionId::new(i), SubscriberId::new(i), &mut rng);
             assert!(s.is_delay_bounded());
             seen_prices.insert(s.price.millis());
             assert_eq!(s.filter.len(), 2);

@@ -28,9 +28,9 @@ pub fn erfc(x: f64) -> f64 {
     // Chebyshev coefficients for erfc, from Numerical Recipes (3rd edition).
     const COF: [f64; 28] = [
         -1.3026537197817094,
-        6.4196979235649026e-1,
+        6.419_697_923_564_902e-1,
         1.9476473204185836e-2,
-        -9.561514786808631e-3,
+        -9.561_514_786_808_63e-3,
         -9.46595344482036e-4,
         3.66839497852761e-4,
         4.2523324806907e-5,

@@ -211,8 +211,7 @@ mod tests {
             est.observe(x);
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((est.mean() - mean).abs() < 1e-12);
         assert!((est.variance() - var).abs() < 1e-12);
         assert_eq!(est.count(), 8);

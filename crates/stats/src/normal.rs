@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn sum_of_many() {
-        let links = vec![Normal::new(50.0, 20.0); 4];
+        let links = [Normal::new(50.0, 20.0); 4];
         let path = Normal::sum(links.iter());
         assert!((path.mean() - 200.0).abs() < 1e-9);
         assert!((path.variance() - 1600.0).abs() < 1e-9);
@@ -234,8 +234,8 @@ mod tests {
         let mut rng = SimRng::seed_from(42);
         let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
         assert!((var - 9.0).abs() < 0.3, "var = {var}");
     }

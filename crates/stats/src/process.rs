@@ -19,12 +19,7 @@ pub trait ArrivalProcess {
     fn rate_per_sec(&self) -> f64;
 
     /// Convenience: generate all arrival instants in `[start, end)`.
-    fn arrivals_in(
-        &mut self,
-        start: SimTime,
-        end: SimTime,
-        rng: &mut SimRng,
-    ) -> Vec<SimTime> {
+    fn arrivals_in(&mut self, start: SimTime, end: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
         let mut out = Vec::new();
         let mut t = start;
         loop {
@@ -33,7 +28,7 @@ pub trait ArrivalProcess {
                 // A zero rate (or zero gap) would loop forever; bail out.
                 break;
             }
-            t = t + gap;
+            t += gap;
             if t >= end {
                 break;
             }

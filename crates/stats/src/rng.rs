@@ -6,23 +6,54 @@
 //! seed with a stream index (SplitMix64) — cells can then run in parallel
 //! without sharing any RNG state.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seedable RNG with convenience helpers used throughout the workspace.
+///
+/// The generator is xoshiro256++ seeded through SplitMix64, implemented
+/// in-crate so the workspace stays dependency-free; all that matters for the
+/// simulations is determinism and reasonable equidistribution, both of which
+/// xoshiro provides.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// The SplitMix64 finaliser, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3x = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3x;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3x.rotate_left(45)];
+        result
     }
 
     /// The seed this RNG was created from (for reporting / reproducibility).
@@ -46,7 +77,8 @@ impl SimRng {
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform `f64` in `[lo, hi)`. `lo` must be `<= hi`.
@@ -55,13 +87,26 @@ impl SimRng {
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            let x = lo + self.uniform() * (hi - lo);
+            // Floating-point rounding can land exactly on `hi`; clamp to the
+            // next representable value below it to keep the interval half-open.
+            if x >= hi {
+                lo.max(hi.next_down())
+            } else {
+                x
+            }
         }
     }
 
     /// A uniform integer in `[lo, hi)`. `lo` must be `< hi`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "uniform_usize requires lo < hi");
+        let span = (hi - lo) as u64;
+        // Unbiased-enough widening multiply (Lemire reduction without the
+        // rejection step; bias is < 2^-64 per draw, far below anything the
+        // simulations can resolve).
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as usize
     }
 
     /// Returns true with probability `p` (clamped to `[0, 1]`).
@@ -165,6 +210,14 @@ mod tests {
             assert!((50.0..100.0).contains(&x));
         }
         assert_eq!(rng.uniform_range(3.0, 3.0), 3.0);
+        // The half-open contract holds even when the span is tiny relative
+        // to the magnitude (where any fixed-epsilon clamp would round back
+        // to `hi`).
+        let lo = 1e9f64;
+        let hi = lo.next_up();
+        for _ in 0..100 {
+            assert_eq!(rng.uniform_range(lo, hi), lo);
+        }
     }
 
     #[test]
@@ -208,7 +261,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, sorted, "shuffle should change order with overwhelming probability");
+        assert_ne!(
+            v, sorted,
+            "shuffle should change order with overwhelming probability"
+        );
     }
 
     #[test]

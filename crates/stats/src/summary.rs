@@ -59,8 +59,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (self.values.len() - 1) as f64
+        self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (self.values.len() - 1) as f64
     }
 
     /// Sample standard deviation.

@@ -32,9 +32,7 @@ pub use value::{AttrName, AttrValue};
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::error::{BdpsError, Result};
-    pub use crate::id::{
-        BrokerId, LinkId, MessageId, PublisherId, SubscriberId, SubscriptionId,
-    };
+    pub use crate::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriberId, SubscriptionId};
     pub use crate::message::{Message, MessageBuilder, MessageHead};
     pub use crate::money::{Earning, Price};
     pub use crate::qos::{DelayBound, DelayRequirement, QosClass, QosProfile};

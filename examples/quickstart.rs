@@ -1,32 +1,35 @@
-//! Quickstart: build the paper's pub/sub system, run a short simulation with
-//! the EB strategy and print the headline metrics.
+//! Quickstart: build the paper's pub/sub system with the fluent builder, run
+//! a short simulation with the EB strategy and print the headline metrics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use bdps::prelude::*;
 
 fn main() {
-    // 1. The paper's 32-broker layered mesh, 4 publishers, 160 subscribers.
-    //    Link transmission rates are N(mu, 20^2) ms/KB with mu ~ U[50, 100].
+    // 1. The paper's 32-broker layered mesh, 4 publishers, 160 subscribers
+    //    (the builder's default topology). Link transmission rates are
+    //    N(mu, 20^2) ms/KB with mu ~ U[50, 100].
     // 2. The SSD workload: every subscriber asks for one of the delay classes
     //    {10 s -> price 3, 30 s -> price 2, 60 s -> price 1}; publishers emit
     //    50 KB messages at 10 messages/minute each.
     // 3. The EB (maximum Expected Benefit first) scheduling strategy with the
     //    paper's invalid-message detection threshold (epsilon = 0.05 %).
-    let config = SimulationConfig::paper(
-        StrategyKind::MaxEb,
-        WorkloadConfig::paper_ssd(10.0).with_duration(Duration::from_secs(600)),
-        42,
-    );
-
-    let report = bdps::sim::runner::run(&config);
+    let report = Simulation::builder()
+        .ssd(10.0)
+        .duration(Duration::from_secs(600))
+        .strategy(StrategyKind::MaxEb)
+        .seed(42)
+        .report();
 
     println!("strategy          : {}", report.strategy);
     println!("scenario          : {}", report.scenario);
     println!("published messages: {}", report.published);
     println!("interested pairs  : {}", report.interested);
     println!("on-time deliveries: {}", report.on_time);
-    println!("delivery rate     : {:.1} %", report.delivery_rate_percent());
+    println!(
+        "delivery rate     : {:.1} %",
+        report.delivery_rate_percent()
+    );
     println!("total earning     : {:.1}", report.total_earning);
     println!("message number    : {}", report.message_number);
     println!("dropped (expired) : {}", report.dropped_expired);

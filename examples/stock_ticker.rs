@@ -16,8 +16,7 @@ use std::sync::Arc;
 fn main() {
     // A small three-broker chain: exchange gateway -> regional hub -> edge.
     let mut rng = SimRng::seed_from(99);
-    let mut topo =
-        bdps::overlay::topology::Topology::line(3, &mut rng, LinkQuality::paper_random);
+    let mut topo = bdps::overlay::topology::Topology::line(3, &mut rng, LinkQuality::paper_random);
     topo.graph
         .attach_subscriber(BrokerId::new(2), SubscriberId::new(0));
     topo.graph
@@ -60,9 +59,9 @@ fn main() {
 
     // Publish three quotes with different freshness requirements (PSD bounds).
     let quotes = [
-        (1u64, 9_950.0, 5u64),   // small trade, 5 s of validity
-        (2, 25_000.0, 20u64),    // block trade, 20 s of validity
-        (3, 11_000.0, 10u64),    // medium trade, 10 s of validity
+        (1u64, 9_950.0, 5u64), // small trade, 5 s of validity
+        (2, 25_000.0, 20u64),  // block trade, 20 s of validity
+        (3, 11_000.0, 10u64),  // medium trade, 10 s of validity
     ];
     let now = SimTime::from_millis(2);
     for (id, volume, secs) in quotes {
@@ -99,6 +98,9 @@ fn main() {
             .map(|d| d.to_string())
             .unwrap_or_else(|| "∞".into())
     );
-    println!("queued behind it: {} quote(s)", gateway.queue(BrokerId::new(1)).unwrap().len());
+    println!(
+        "queued behind it: {} quote(s)",
+        gateway.queue(BrokerId::new(1)).unwrap().len()
+    );
     println!("broker counters: {:?}", gateway.counters);
 }

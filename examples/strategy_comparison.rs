@@ -1,6 +1,6 @@
-//! Compares all five scheduling strategies (EB, PC, EBPC, FIFO, RL) on the
-//! paper's topology under a congesting PSD workload, using the parallel
-//! sweep runner.
+//! Compares all five paper strategies (EB, PC, EBPC, FIFO, RL) plus the
+//! built-in `WeightedComposite` on the paper's topology under a congesting
+//! PSD workload, using the fluent builder and the parallel sweep runner.
 //!
 //! Run with: `cargo run --release --example strategy_comparison`
 
@@ -9,23 +9,31 @@ use bdps::sim::runner::{sweep, SweepCell};
 
 fn main() {
     let rate = 12.0;
-    let cells: Vec<SweepCell> = StrategyKind::ALL
+    let mut strategies: Vec<StrategyHandle> =
+        StrategyKind::ALL.iter().map(|&s| s.resolve()).collect();
+    strategies.push(StrategyHandle::new(WeightedComposite::default()));
+
+    let cells: Vec<SweepCell> = strategies
         .iter()
-        .map(|&strategy| SweepCell {
+        .map(|strategy| SweepCell {
             label: strategy.label().to_string(),
-            config: SimulationConfig::paper(
-                strategy,
-                WorkloadConfig::paper_psd(rate).with_duration(Duration::from_secs(600)),
-                2026,
-            ),
+            config: Simulation::builder()
+                .psd(rate)
+                .duration(Duration::from_secs(600))
+                .strategy(strategy.clone())
+                .seed(2026)
+                .build_config(),
         })
         .collect();
 
     println!("PSD scenario, publishing rate {rate} msgs/min/publisher, 10-minute run\n");
-    println!("{:6} {:>14} {:>16} {:>18} {:>18}", "strat", "delivery (%)", "msg number", "dropped expired", "dropped unlikely");
+    println!(
+        "{:10} {:>14} {:>16} {:>18} {:>18}",
+        "strat", "delivery (%)", "msg number", "dropped expired", "dropped unlikely"
+    );
     for (label, report) in sweep(&cells, 4) {
         println!(
-            "{:6} {:>14.1} {:>16} {:>18} {:>18}",
+            "{:10} {:>14.1} {:>16} {:>18} {:>18}",
             label,
             report.delivery_rate_percent(),
             report.message_number,
@@ -33,5 +41,7 @@ fn main() {
             report.dropped_unlikely
         );
     }
-    println!("\nExpected ordering under congestion: EB ≈ EBPC ≥ PC > FIFO > RL (the paper's Fig. 6a).");
+    println!(
+        "\nExpected ordering under congestion: EB ≈ EBPC ≥ PC > FIFO > RL (the paper's Fig. 6a)."
+    );
 }

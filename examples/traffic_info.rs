@@ -32,7 +32,10 @@ fn main() {
     let example = Subscription::with_qos(
         SubscriptionId::new(0),
         SubscriberId::new(0),
-        parse_filter("congestion >= 7 && region < 3").unwrap().to_dnf().remove(0),
+        parse_filter("congestion >= 7 && region < 3")
+            .unwrap()
+            .to_dnf()
+            .remove(0),
         tiers[0],
     );
     println!("\nexample subscription: {example}\n");

@@ -8,8 +8,11 @@
 //! * [`filter`] — content-based subscription language and matching index.
 //! * [`net`] — link bandwidth models and bandwidth measurement.
 //! * [`overlay`] — broker overlay, topologies, routing, subscription tables.
-//! * [`core`] — the EB / PC / EBPC bounded-delay scheduling strategies.
-//! * [`sim`] — discrete-event simulator, workloads and experiment runner.
+//! * [`core`] — the pluggable `SchedulingStrategy` surface with the paper's
+//!   EB / PC / EBPC strategies, the FIFO / RL baselines and the strategy
+//!   registry.
+//! * [`sim`] — discrete-event simulator, workloads, the fluent
+//!   `Simulation::builder()` experiment API and the sweep runner.
 
 pub use bdps_core as core;
 pub use bdps_filter as filter;

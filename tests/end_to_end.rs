@@ -1,10 +1,11 @@
 //! Cross-crate integration tests: the full paper pipeline from topology to
 //! objective metrics.
 
-use bdps::prelude::*;
-use bdps::sim::runner::{run, sweep, SweepCell, TopologySpec};
+use bdps::core::strategy::ScheduleContext;
 use bdps::overlay::routing::Routing;
 use bdps::overlay::topology::{LayeredMeshConfig, Topology};
+use bdps::prelude::*;
+use bdps::sim::runner::{run, sweep, SweepCell, TopologySpec};
 
 fn quick(strategy: StrategyKind, ssd: bool, rate: f64, seed: u64) -> SimulationConfig {
     let workload = if ssd {
@@ -26,7 +27,11 @@ fn paper_topology_routes_are_complete_and_consistent() {
     for pb in topo.graph.publisher_brokers() {
         for eb in topo.graph.edge_brokers() {
             let stats = routing.path_stats(pb, eb).expect("reachable");
-            assert!(stats.hops() >= 1 && stats.hops() <= 3, "hops = {}", stats.hops());
+            assert!(
+                stats.hops() >= 1 && stats.hops() <= 3,
+                "hops = {}",
+                stats.hops()
+            );
             assert!(stats.mean_rate() >= 50.0 && stats.mean_rate() <= 300.0);
         }
     }
@@ -36,7 +41,11 @@ fn paper_topology_routes_are_complete_and_consistent() {
 fn paper_scale_run_is_sane_under_the_eb_strategy() {
     let report = run(&quick(StrategyKind::MaxEb, true, 10.0, 31));
     // 4 publishers x 10 msg/min x 7 minutes ~ 280 messages.
-    assert!(report.published > 150 && report.published < 450, "published = {}", report.published);
+    assert!(
+        report.published > 150 && report.published < 450,
+        "published = {}",
+        report.published
+    );
     // The workload is tuned for ~25% selectivity over 160 subscribers.
     let avg_interested = report.interested as f64 / report.published as f64;
     assert!(
@@ -126,6 +135,71 @@ fn runs_are_reproducible_across_processes_and_parallelism() {
     ];
     let swept = sweep(&cells, 2);
     assert_eq!(swept[0].1, a);
+}
+
+#[test]
+fn builder_path_matches_enum_path_for_all_paper_strategies() {
+    // Acceptance: the five paper strategies must produce identical sweep
+    // results (delivery rate / total earning) through the trait + builder
+    // path as through the `StrategyKind` compatibility path.
+    for strategy in StrategyKind::ALL {
+        for ssd in [false, true] {
+            let enum_path = run(&quick(strategy, ssd, 10.0, 21));
+            let builder_path = Simulation::builder()
+                .workload(if ssd {
+                    WorkloadConfig::paper_ssd(10.0)
+                } else {
+                    WorkloadConfig::paper_psd(10.0)
+                })
+                .duration(Duration::from_secs(420))
+                .strategy(strategy)
+                .seed(21)
+                .report();
+            assert_eq!(enum_path, builder_path, "{} ssd={ssd}", strategy.label());
+        }
+    }
+}
+
+/// A strategy defined entirely outside the core crates: prefers messages
+/// worth the most per queued byte.
+#[derive(Debug)]
+struct ValuePerKb;
+
+impl SchedulingStrategy for ValuePerKb {
+    fn name(&self) -> &str {
+        "VPK"
+    }
+
+    fn priority(&self, _ctx: &ScheduleContext, item: &QueuedMessage) -> f64 {
+        let value: f64 = item.targets.iter().map(|t| t.price.as_f64()).sum();
+        value / item.message.size_kb.max(1e-9)
+    }
+}
+
+#[test]
+fn user_defined_strategy_runs_through_broker_and_simulation() {
+    // Acceptance: a strategy implemented outside `bdps-core` plugs into the
+    // full pipeline through a handle, with no changes to the core crates.
+    let report = Simulation::builder()
+        .topology(TopologySpec::LayeredMesh(LayeredMeshConfig::small()))
+        .ssd(8.0)
+        .duration(Duration::from_secs(300))
+        .strategy(ValuePerKb)
+        .seed(11)
+        .report();
+    assert_eq!(report.strategy, "VPK");
+    assert!(report.published > 0);
+    assert!(report.on_time > 0, "custom strategy must still deliver");
+    assert!(report.delivery_rate > 0.0 && report.delivery_rate <= 1.0);
+    // Deterministic like every other strategy.
+    let again = Simulation::builder()
+        .topology(TopologySpec::LayeredMesh(LayeredMeshConfig::small()))
+        .ssd(8.0)
+        .duration(Duration::from_secs(300))
+        .strategy(ValuePerKb)
+        .seed(11)
+        .report();
+    assert_eq!(report, again);
 }
 
 #[test]

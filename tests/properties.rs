@@ -1,14 +1,28 @@
 //! Property-based tests on cross-crate invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a small seeded harness: each property is checked over a few
+//! hundred pseudo-random cases drawn from [`SimRng`], which keeps the runs
+//! deterministic and the failures reproducible (the case index is reported
+//! on panic).
 
-use bdps::prelude::*;
 use bdps::core::metrics;
-use bdps::core::queue::MatchedTarget;
+use bdps::core::queue::{MatchedTarget, OutputQueue};
+use bdps::core::strategy::{ScheduleContext, StrategyRegistry};
 use bdps::overlay::pathstats::PathStats;
 use bdps::overlay::routing::Routing;
 use bdps::overlay::topology::Topology;
+use bdps::prelude::*;
 use bdps::stats::normal::Normal;
-use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Runs `property` over `cases` seeded random cases.
+fn check(seed: u64, cases: usize, mut property: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from(seed).split(case as u64);
+        property(&mut rng);
+    }
+}
 
 fn head(a1: f64, a2: f64) -> MessageHead {
     let mut h = MessageHead::new();
@@ -16,66 +30,201 @@ fn head(a1: f64, a2: f64) -> MessageHead {
     h
 }
 
-proptest! {
-    /// The matching index agrees with brute-force filter evaluation.
-    #[test]
-    fn index_matches_bruteforce(
-        thresholds in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40),
-        probes in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..20),
-    ) {
-        let mut index = MatchIndex::new();
-        for (i, (x1, x2)) in thresholds.iter().enumerate() {
-            index.insert(SubscriptionId::new(i as u32), Filter::paper_conjunction(*x1, *x2));
-        }
-        for (a1, a2) in probes {
-            let h = head(a1, a2);
-            prop_assert_eq!(index.matching(&h), index.matching_bruteforce(&h));
-        }
+fn random_target(rng: &mut SimRng) -> MatchedTarget {
+    let hops = rng.uniform_usize(1, 4);
+    let mut stats = PathStats::local();
+    for _ in 0..hops {
+        stats = stats.extend(Normal::new(rng.uniform_range(50.0, 100.0), 20.0));
     }
+    MatchedTarget {
+        subscription: SubscriptionId::new(rng.uniform_usize(0, 100) as u32),
+        subscriber: SubscriberId::new(rng.uniform_usize(0, 100) as u32),
+        price: Price::from_units(rng.uniform_usize(1, 4) as i64),
+        allowed_delay: Duration::from_secs(rng.uniform_usize(1, 90) as u64),
+        stats,
+    }
+}
 
-    /// Filter covering is sound: if `wide` covers `narrow`, every head that
-    /// matches `narrow` also matches `wide`.
-    #[test]
-    fn covering_is_sound(
-        wide in (0.0f64..10.0, 0.0f64..10.0),
-        narrow in (0.0f64..10.0, 0.0f64..10.0),
-        probes in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30),
-    ) {
-        let wide_f = Filter::paper_conjunction(wide.0, wide.1);
-        let narrow_f = Filter::paper_conjunction(narrow.0, narrow.1);
-        if wide_f.covers(&narrow_f) {
-            for (a1, a2) in probes {
-                let h = head(a1, a2);
-                if narrow_f.matches(&h) {
-                    prop_assert!(wide_f.matches(&h));
+fn random_item(id: u64, rng: &mut SimRng) -> QueuedMessage {
+    let targets = (0..rng.uniform_usize(1, 6))
+        .map(|_| random_target(rng))
+        .collect();
+    QueuedMessage {
+        message: Arc::new(
+            Message::builder(MessageId::new(id), PublisherId::new(0))
+                .publish_time(SimTime::from_millis(rng.uniform_usize(0, 5_000) as u64))
+                .size_kb(rng.uniform_range(10.0, 100.0))
+                .build(),
+        ),
+        targets,
+        enqueue_time: SimTime::from_secs(rng.uniform_usize(5, 10) as u64),
+    }
+}
+
+fn random_ctx(rng: &mut SimRng) -> ScheduleContext {
+    ScheduleContext {
+        now: SimTime::from_secs(rng.uniform_usize(10, 40) as u64),
+        processing_delay: Duration::from_millis(2),
+        ebpc_weight: rng.uniform(),
+        avg_message_size_kb: 50.0,
+        first_send_estimate_ms: rng.uniform_range(0.0, 10_000.0),
+    }
+}
+
+/// For every registered strategy: `priority` is deterministic, finite for
+/// valid (bounded-deadline) inputs, and `score_all` agrees with per-item
+/// scoring.
+#[test]
+fn every_registered_strategy_is_deterministic_and_finite() {
+    let registry = StrategyRegistry::builtin();
+    let names = registry.names();
+    assert!(!names.is_empty());
+    check(0xBD_05, 200, |rng| {
+        let items: Vec<QueuedMessage> = (0..rng.uniform_usize(1, 8) as u64)
+            .map(|i| random_item(i, rng))
+            .collect();
+        let ctx = random_ctx(rng);
+        for name in &names {
+            let strategy = registry.resolve(name).expect("builtin resolves");
+            let mut scores = Vec::new();
+            strategy.score_all(&ctx, &items, &mut scores);
+            assert_eq!(scores.len(), items.len(), "{name}: one score per item");
+            for (item, &score) in items.iter().zip(&scores) {
+                assert!(score.is_finite(), "{name}: non-finite priority {score}");
+                assert_eq!(
+                    score,
+                    strategy.priority(&ctx, item),
+                    "{name}: score_all must match priority"
+                );
+                assert_eq!(
+                    strategy.priority(&ctx, item),
+                    strategy.priority(&ctx, item),
+                    "{name}: priority must be deterministic"
+                );
+            }
+        }
+    });
+}
+
+/// Under the FIFO strategy, pop order always matches enqueue order, whatever
+/// the message contents.
+#[test]
+fn fifo_pop_order_matches_enqueue_order() {
+    let config =
+        SchedulerConfig::paper(StrategyKind::Fifo).with_invalid_detection(InvalidDetection::Off);
+    check(0xF1F0, 200, |rng| {
+        let mut queue = OutputQueue::new(BrokerId::new(1), LinkId::new(0), 75.0);
+        let n = rng.uniform_usize(1, 12) as u64;
+        for i in 0..n {
+            let mut item = random_item(i, rng);
+            // Strictly increasing enqueue times (FIFO breaks exact ties by
+            // scan order, which is also arrival order, but keep the property
+            // crisp).
+            item.enqueue_time = SimTime::from_millis(i * 10);
+            queue.push(item);
+        }
+        for i in 0..n {
+            let popped = queue
+                .pop_next(SimTime::from_secs(60), &config)
+                .expect("queue non-empty");
+            assert_eq!(popped.message.id, MessageId::new(i));
+        }
+        assert!(queue.pop_next(SimTime::from_secs(60), &config).is_none());
+    });
+}
+
+/// The registry round-trips every built-in name: resolving a name yields a
+/// strategy whose display label resolves back to the same strategy.
+#[test]
+fn registry_round_trips_every_builtin_name() {
+    let registry = StrategyRegistry::builtin();
+    for name in registry.names() {
+        let strategy = registry
+            .resolve(name)
+            .unwrap_or_else(|| panic!("{name} resolves"));
+        let via_label = registry
+            .resolve(strategy.label())
+            .unwrap_or_else(|| panic!("label {} resolves", strategy.label()));
+        assert_eq!(strategy.label(), via_label.label(), "round trip of {name}");
+        // Case-insensitive.
+        assert!(registry.resolve(&name.to_ascii_uppercase()).is_some());
+    }
+    // The five paper kinds are all reachable by their labels.
+    for kind in StrategyKind::ALL {
+        assert_eq!(registry.resolve(kind.label()).unwrap(), kind);
+    }
+}
+
+/// The matching index agrees with brute-force filter evaluation.
+#[test]
+fn index_matches_bruteforce() {
+    check(0x1DE, 150, |rng| {
+        let mut index = MatchIndex::new();
+        for i in 0..rng.uniform_usize(1, 40) {
+            index.insert(
+                SubscriptionId::new(i as u32),
+                Filter::paper_conjunction(
+                    rng.uniform_range(0.0, 10.0),
+                    rng.uniform_range(0.0, 10.0),
+                ),
+            );
+        }
+        for _ in 0..rng.uniform_usize(1, 20) {
+            let h = head(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0));
+            assert_eq!(index.matching(&h), index.matching_bruteforce(&h));
+        }
+    });
+}
+
+/// Filter covering is sound: if `wide` covers `narrow`, every head that
+/// matches `narrow` also matches `wide`.
+#[test]
+fn covering_is_sound() {
+    check(0xC0FE, 200, |rng| {
+        let wide =
+            Filter::paper_conjunction(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0));
+        let narrow =
+            Filter::paper_conjunction(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0));
+        if wide.covers(&narrow) {
+            for _ in 0..30 {
+                let h = head(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0));
+                if narrow.matches(&h) {
+                    assert!(wide.matches(&h));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Normal CDF is monotone and bounded; sums of independent normals add
-    /// their means and variances.
-    #[test]
-    fn normal_cdf_properties(mean in -100.0f64..100.0, std in 0.1f64..50.0, a in -200.0f64..200.0, b in -200.0f64..200.0) {
+/// Normal CDF is monotone and bounded; sums of independent normals add
+/// their means and variances.
+#[test]
+fn normal_cdf_properties() {
+    check(0x0CDF, 300, |rng| {
+        let mean = rng.uniform_range(-100.0, 100.0);
+        let std = rng.uniform_range(0.1, 50.0);
         let n = Normal::new(mean, std);
+        let a = rng.uniform_range(-200.0, 200.0);
+        let b = rng.uniform_range(-200.0, 200.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+        assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+        assert!((0.0..=1.0).contains(&n.cdf(a)));
         let sum = n.add_independent(&Normal::new(mean, std));
-        prop_assert!((sum.mean() - 2.0 * mean).abs() < 1e-9);
-        prop_assert!((sum.variance() - 2.0 * std * std).abs() < 1e-6);
-    }
+        assert!((sum.mean() - 2.0 * mean).abs() < 1e-9);
+        assert!((sum.variance() - 2.0 * std * std).abs() < 1e-6);
+    });
+}
 
-    /// Success probability is monotone: more elapsed time never increases it,
-    /// and a longer allowed delay never decreases it.
-    #[test]
-    fn success_probability_monotonicity(
-        allowed_secs in 1u64..120,
-        elapsed_a in 0u64..120,
-        elapsed_b in 0u64..120,
-        hops in 1u32..4,
-        rate in 50.0f64..100.0,
-    ) {
+/// Success probability is monotone: more elapsed time never increases it,
+/// and a longer allowed delay never decreases it.
+#[test]
+fn success_probability_monotonicity() {
+    check(0x5CC, 300, |rng| {
+        let allowed_secs = rng.uniform_usize(1, 120) as u64;
+        let elapsed_a = rng.uniform_usize(0, 120) as u64;
+        let elapsed_b = rng.uniform_usize(0, 120) as u64;
+        let hops = rng.uniform_usize(1, 4);
+        let rate = rng.uniform_range(50.0, 100.0);
         let message = Arc::new(
             Message::builder(MessageId::new(1), PublisherId::new(0))
                 .publish_time(SimTime::ZERO)
@@ -94,73 +243,102 @@ proptest! {
             stats,
         };
         let pd = Duration::from_millis(2);
-        let (early, late) = if elapsed_a <= elapsed_b { (elapsed_a, elapsed_b) } else { (elapsed_b, elapsed_a) };
-        let p_early = metrics::success_probability(&message, &target(allowed_secs), SimTime::from_secs(early), pd);
-        let p_late = metrics::success_probability(&message, &target(allowed_secs), SimTime::from_secs(late), pd);
-        prop_assert!(p_late <= p_early + 1e-12);
-        let p_longer = metrics::success_probability(&message, &target(allowed_secs + 10), SimTime::from_secs(early), pd);
-        prop_assert!(p_longer + 1e-12 >= p_early);
-        prop_assert!((0.0..=1.0).contains(&p_early));
-    }
+        let (early, late) = if elapsed_a <= elapsed_b {
+            (elapsed_a, elapsed_b)
+        } else {
+            (elapsed_b, elapsed_a)
+        };
+        let p_early = metrics::success_probability(
+            &message,
+            &target(allowed_secs),
+            SimTime::from_secs(early),
+            pd,
+        );
+        let p_late = metrics::success_probability(
+            &message,
+            &target(allowed_secs),
+            SimTime::from_secs(late),
+            pd,
+        );
+        assert!(p_late <= p_early + 1e-12);
+        let p_longer = metrics::success_probability(
+            &message,
+            &target(allowed_secs + 10),
+            SimTime::from_secs(early),
+            pd,
+        );
+        assert!(p_longer + 1e-12 >= p_early);
+        assert!((0.0..=1.0).contains(&p_early));
+    });
+}
 
-    /// EB is non-negative, bounded by the total price of its targets, and the
-    /// postponing cost never exceeds EB.
-    #[test]
-    fn eb_and_pc_bounds(
-        allowed in proptest::collection::vec(1u64..90, 1..6),
-        prices in proptest::collection::vec(1i64..4, 1..6),
-        ft in 0.0f64..10_000.0,
-    ) {
+/// EB is non-negative, bounded by the total price of its targets, and the
+/// postponing cost never exceeds EB.
+#[test]
+fn eb_and_pc_bounds() {
+    check(0xEBC, 300, |rng| {
         let message = Arc::new(
             Message::builder(MessageId::new(1), PublisherId::new(0))
                 .publish_time(SimTime::ZERO)
                 .size_kb(50.0)
                 .build(),
         );
-        let targets: Vec<MatchedTarget> = allowed
-            .iter()
-            .zip(prices.iter().cycle())
-            .map(|(&a, &p)| MatchedTarget {
+        let targets: Vec<MatchedTarget> = (0..rng.uniform_usize(1, 6))
+            .map(|_| MatchedTarget {
                 subscription: SubscriptionId::new(0),
                 subscriber: SubscriberId::new(0),
-                price: Price::from_units(p),
-                allowed_delay: Duration::from_secs(a),
+                price: Price::from_units(rng.uniform_usize(1, 4) as i64),
+                allowed_delay: Duration::from_secs(rng.uniform_usize(1, 90) as u64),
                 stats: PathStats::from_links([&Normal::new(75.0, 20.0), &Normal::new(60.0, 20.0)]),
             })
             .collect();
+        let ft = rng.uniform_range(0.0, 10_000.0);
         let pd = Duration::from_millis(2);
         let now = SimTime::from_secs(1);
         let eb = metrics::expected_benefit(&message, &targets, now, pd);
         let pc = metrics::postponing_cost(&message, &targets, now, pd, ft);
         let total_price: f64 = targets.iter().map(|t| t.price.as_f64()).sum();
-        prop_assert!(eb >= -1e-12);
-        prop_assert!(eb <= total_price + 1e-9);
-        prop_assert!(pc >= -1e-9);
-        prop_assert!(pc <= eb + 1e-9);
-    }
+        assert!(eb >= -1e-12);
+        assert!(eb <= total_price + 1e-9);
+        assert!(pc >= -1e-9);
+        assert!(pc <= eb + 1e-9);
+    });
+}
 
-    /// Routing on random meshes is consistent and path statistics equal the
-    /// sum of link means along the realised path.
-    #[test]
-    fn routing_stats_match_paths(seed in 0u64..500, n in 4usize..12) {
-        let mut rng = SimRng::seed_from(seed);
-        let topo = Topology::random_mesh(n, 3.0, &mut rng, LinkQuality::paper_random);
+/// Routing on random meshes is consistent and path statistics equal the
+/// sum of link means along the realised path.
+#[test]
+fn routing_stats_match_paths() {
+    check(0x0707, 60, |rng| {
+        let n = rng.uniform_usize(4, 12);
+        let mut topo_rng = SimRng::seed_from(rng.next_u64());
+        let topo = Topology::random_mesh(n, 3.0, &mut topo_rng, LinkQuality::paper_random);
         let routing = Routing::compute(&topo.graph);
-        prop_assert!(routing.is_consistent());
+        assert!(routing.is_consistent());
         for from in 0..n {
             for to in 0..n {
-                if from == to { continue; }
+                if from == to {
+                    continue;
+                }
                 let from = BrokerId::new(from as u32);
                 let to = BrokerId::new(to as u32);
-                if let (Some(stats), Some(path)) = (routing.path_stats(from, to), routing.path(from, to)) {
+                if let (Some(stats), Some(path)) =
+                    (routing.path_stats(from, to), routing.path(from, to))
+                {
                     let mut sum = 0.0;
                     for w in path.windows(2) {
-                        sum += topo.graph.link_between(w[0], w[1]).unwrap().quality.rate_distribution().mean();
+                        sum += topo
+                            .graph
+                            .link_between(w[0], w[1])
+                            .unwrap()
+                            .quality
+                            .rate_distribution()
+                            .mean();
                     }
-                    prop_assert!((sum - stats.mean_rate()).abs() < 1e-6);
-                    prop_assert_eq!(stats.hops() as usize, path.len() - 1);
+                    assert!((sum - stats.mean_rate()).abs() < 1e-6);
+                    assert_eq!(stats.hops() as usize, path.len() - 1);
                 }
             }
         }
-    }
+    });
 }

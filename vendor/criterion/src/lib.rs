@@ -1,0 +1,239 @@
+//! A minimal wall-clock benchmark harness standing in for `criterion`
+//! (offline build).
+//!
+//! Exposes the subset of the criterion API the BDPS benches use —
+//! [`Criterion`], [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and reports the median
+//! time per iteration to stdout. There is no statistical analysis, HTML
+//! report or regression detection; numbers are indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility, ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, e.g. `EB/256`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last measurement.
+    last_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            last_ns: 0.0,
+            samples,
+        }
+    }
+
+    /// Measures `routine` repeatedly and records the median time per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        // Warm-up: one untimed call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.last_ns = median(&mut times);
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.last_ns = median(&mut times);
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(3);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 15 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        println!(
+            "{name:<50} {:>12}/iter (median of {})",
+            format_ns(bencher.last_ns),
+            self.samples
+        );
+    }
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_formats() {
+        let mut c = Criterion::default();
+        c.benchmark_group("g")
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput);
+        assert!(b.last_ns >= 0.0);
+        assert_eq!(BenchmarkId::new("EB", 256).to_string(), "EB/256");
+        assert_eq!(BenchmarkId::from_parameter("FIFO").to_string(), "FIFO");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+    }
+}

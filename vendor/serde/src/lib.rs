@@ -1,0 +1,22 @@
+//! Marker traits standing in for `serde` (offline build).
+//!
+//! Nothing in the BDPS workspace serialises at runtime today; the derives on
+//! config and record types document *intent* and keep the door open for a
+//! real backend. Blanket implementations make every type satisfy the traits
+//! so generic bounds written against real serde keep compiling.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` (offline build).
+//!
+//! The real derives generate (de)serialisation visitors; the paired `serde`
+//! stand-in blanket-implements its marker traits instead, so these derives
+//! only need to *accept* the syntax — including `#[serde(...)]` helper
+//! attributes — and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
