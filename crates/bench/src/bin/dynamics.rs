@@ -1,0 +1,109 @@
+//! Beyond the paper: the five strategies under dynamic scenarios.
+//!
+//! The paper evaluates a stationary system; this binary compares the same
+//! strategies under subscription churn, flash-crowd bursts, link failures
+//! and a full blackout — the regimes where delay-aware scheduling should
+//! differentiate most. Every cell is one simulation with the scenario's
+//! randomness derived from the cell seed, so the whole table is reproducible.
+//!
+//! Usage: `cargo run --release -p bdps-bench --bin dynamics [--full]
+//! [--seed N] [--strategies eb,pc,fifo,rl,ebpc]
+//! [--scenarios static,churn,flash-crowd,link-flap,blackout,chaos]`.
+
+use bdps_bench::{f1, run_cells, ExperimentOptions};
+use bdps_core::config::StrategyKind;
+use bdps_sim::prelude::*;
+use bdps_types::time::Duration;
+use std::collections::HashMap;
+
+const DEFAULT_SCENARIOS: [&str; 5] = ["static", "churn", "flash-crowd", "link-flap", "chaos"];
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    println!(
+        "{}",
+        opts.banner("Dynamics — strategy comparison under churn, bursts and link failures")
+    );
+
+    let strategies = opts.strategies_or(&[
+        StrategyKind::MaxEb,
+        StrategyKind::MaxPc,
+        StrategyKind::MaxEbpc,
+        StrategyKind::Fifo,
+        StrategyKind::RemainingLifetime,
+    ]);
+    let scenarios = opts.scenarios_or(&DEFAULT_SCENARIOS);
+
+    let mut cells = Vec::new();
+    for scenario in &scenarios {
+        for strategy in &strategies {
+            let config = Simulation::builder()
+                .ssd(10.0)
+                .duration(Duration::from_secs(opts.duration_secs))
+                .strategy(strategy.clone())
+                .scenario(scenario.clone())
+                .seed(opts.seed)
+                .build_config();
+            cells.push(SweepCell {
+                label: format!("{}@{}", strategy.label(), scenario.name),
+                config,
+            });
+        }
+    }
+    let results = run_cells(&cells, &opts);
+    let by_label: HashMap<&str, &SimulationReport> = results
+        .iter()
+        .map(|(label, report)| (label.as_str(), report))
+        .collect();
+
+    let strategy_labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+
+    println!("## Delivery rate (%) by scenario\n");
+    println!(
+        "{}",
+        bdps_bench::series_table(
+            "scenario",
+            &scenarios.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
+            &strategy_labels,
+            |i, s| {
+                let key = format!("{s}@{}", scenarios[i].name);
+                f1(by_label[key.as_str()].delivery_rate_percent())
+            }
+        )
+    );
+
+    println!("## Total earning (k) by scenario\n");
+    println!(
+        "{}",
+        bdps_bench::series_table(
+            "scenario",
+            &scenarios.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
+            &strategy_labels,
+            |i, s| {
+                let key = format!("{s}@{}", scenarios[i].name);
+                f1(by_label[key.as_str()].earning_k())
+            }
+        )
+    );
+
+    println!("## Resilience bookkeeping (EB)\n");
+    for scenario in &scenarios {
+        let key = format!("EB@{}", scenario.name);
+        if let Some(r) = by_label.get(key.as_str()) {
+            println!(
+                "- {}: requeued {}, unsubscribed-drops {}, duplicates {} (must be 0), phases {}",
+                scenario.name,
+                r.requeued,
+                r.dropped_unsubscribed,
+                r.duplicate_deliveries,
+                r.phases.len()
+            );
+        }
+    }
+
+    // Phase breakdown of the most dynamic scenario, if it ran.
+    if let Some(r) = by_label.get(format!("EB@{}", "chaos").as_str()) {
+        println!("\n## EB per-phase breakdown under chaos\n");
+        println!("{}", r.phase_table());
+    }
+}

@@ -14,6 +14,7 @@
 //! | `ablation_epsilon` | effect of the invalid-detection threshold ε |
 //! | `ablation_estimation` | effect of bandwidth-estimation error |
 //! | `ablation_scheddelay` | multi-seed variance of the headline comparison |
+//! | `dynamics` | beyond the paper: strategies under churn, bursts, link failures |
 //!
 //! By default the binaries run a shortened publication period so that the
 //! whole suite finishes in minutes; pass `--full` for the paper's 2-hour
@@ -29,6 +30,7 @@ use bdps_core::config::StrategyKind;
 use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
 use bdps_sim::report::{render_markdown_table, SimulationReport};
 use bdps_sim::runner::{sweep, SweepCell};
+use bdps_sim::scenario::{DynamicScenario, ScenarioRegistry};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +44,9 @@ pub struct ExperimentOptions {
     /// Strategy names selected with `--strategies` (resolved through the
     /// [`StrategyRegistry`]); empty means "use the binary's paper default".
     pub strategies: Vec<String>,
+    /// Dynamic-scenario names selected with `--scenarios` (resolved through
+    /// the [`ScenarioRegistry`]); empty means "use the binary's default set".
+    pub scenarios: Vec<String>,
 }
 
 impl Default for ExperimentOptions {
@@ -53,6 +58,7 @@ impl Default for ExperimentOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             strategies: Vec::new(),
+            scenarios: Vec::new(),
         }
     }
 }
@@ -96,6 +102,16 @@ impl ExperimentOptions {
                         i += 1;
                     }
                 }
+                "--scenarios" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.scenarios = v
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -118,6 +134,31 @@ impl ExperimentOptions {
                 registry.resolve(name).unwrap_or_else(|| {
                     eprintln!(
                         "unknown strategy {name:?}; registered: {}",
+                        registry.names().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+
+    /// The dynamic scenarios a binary should run: the names given with
+    /// `--scenarios`, resolved through the built-in [`ScenarioRegistry`],
+    /// or `default` when none were selected. Exits with a diagnostic on an
+    /// unknown name.
+    pub fn scenarios_or(&self, default: &[&str]) -> Vec<DynamicScenario> {
+        let registry = ScenarioRegistry::builtin();
+        let names: Vec<&str> = if self.scenarios.is_empty() {
+            default.to_vec()
+        } else {
+            self.scenarios.iter().map(|s| s.as_str()).collect()
+        };
+        names
+            .iter()
+            .map(|name| {
+                registry.resolve(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scenario {name:?}; registered: {}",
                         registry.names().join(", ")
                     );
                     std::process::exit(2);
@@ -210,6 +251,22 @@ mod tests {
         assert_eq!(picked.len(), 2);
         assert_eq!(picked[0].label(), "FIFO");
         assert_eq!(picked[1].label(), "COMPOSITE");
+    }
+
+    #[test]
+    fn scenario_selection_defaults_and_resolves() {
+        let defaults = ExperimentOptions::default().scenarios_or(&["static", "chaos"]);
+        assert_eq!(defaults.len(), 2);
+        assert_eq!(defaults[0].name, "static");
+        assert_eq!(defaults[1].name, "chaos");
+        let picked = ExperimentOptions {
+            scenarios: vec!["churn".into(), "flash-crowd".into()],
+            ..ExperimentOptions::default()
+        }
+        .scenarios_or(&["static"]);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].name, "churn");
+        assert_eq!(picked[1].name, "flash-crowd");
     }
 
     #[test]

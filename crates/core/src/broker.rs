@@ -15,7 +15,7 @@
 use crate::config::SchedulerConfig;
 use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
 use bdps_overlay::graph::OverlayGraph;
-use bdps_overlay::subtable::SubscriptionTable;
+use bdps_overlay::subtable::{SubTableEntry, SubscriptionTable};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
 use bdps_types::message::Message;
 use bdps_types::money::Price;
@@ -73,10 +73,21 @@ pub struct BrokerCounters {
     pub dropped_expired: u64,
     /// Copies dropped because no target had a success probability ≥ ε.
     pub dropped_unlikely: u64,
+    /// Copies dropped because every remaining target unsubscribed mid-run.
+    pub dropped_unsubscribed: u64,
+    /// Copies put back into an output queue after their link failed mid-transfer.
+    pub requeued: u64,
     /// Local deliveries that met their deadline.
     pub delivered_on_time: u64,
     /// Local deliveries that missed their deadline.
     pub delivered_late: u64,
+}
+
+impl BrokerCounters {
+    /// Copies dropped for any reason before transmission.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_expired + self.dropped_unlikely + self.dropped_unsubscribed
+    }
 }
 
 /// The state of one broker.
@@ -258,6 +269,58 @@ impl BrokerState {
             self.counters.sent += 1;
         }
         NextSend { message, dropped }
+    }
+
+    /// Replaces the broker's subscription table in place, keeping queues and
+    /// counters. The simulator calls this after recomputing routes when a
+    /// link fails or recovers mid-run.
+    pub fn set_table(&mut self, table: SubscriptionTable) {
+        debug_assert_eq!(table.broker(), self.id, "table belongs to another broker");
+        self.table = table;
+    }
+
+    /// Adds (or replaces) one subscription-table entry mid-run — the
+    /// incremental half of subscription churn. Messages already queued are
+    /// unaffected; messages processed from now on match the new entry.
+    pub fn insert_subscription(&mut self, entry: SubTableEntry) {
+        self.table.insert(entry);
+    }
+
+    /// Removes a subscription mid-run: drops its table entry and strips it
+    /// from every queued copy's target set. Copies left with no target are
+    /// discarded and counted under `dropped_unsubscribed`; the number of such
+    /// orphaned copies is returned.
+    pub fn remove_subscription(&mut self, id: SubscriptionId) -> u64 {
+        self.table.remove(id);
+        let orphaned: u64 = self
+            .queues
+            .values_mut()
+            .map(|q| q.remove_subscription(id))
+            .sum();
+        self.counters.dropped_unsubscribed += orphaned;
+        orphaned
+    }
+
+    /// Puts a message copy back into the queue towards `neighbor` after a
+    /// failed transmission (the link died while the copy was in flight). The
+    /// copy keeps its original enqueue time so FIFO-style strategies do not
+    /// treat the retry as fresh arrival.
+    ///
+    /// Returns false — and drops the copy — when no queue towards `neighbor`
+    /// exists; callers that believe the queue must exist (the simulator
+    /// always requeues towards the link it just popped from) should assert
+    /// on the result, because a silently lost copy breaks the transfer
+    /// balance that `SimulationOutcome::check_conservation` enforces.
+    #[must_use]
+    pub fn requeue(&mut self, neighbor: BrokerId, item: QueuedMessage) -> bool {
+        match self.queues.get_mut(&neighbor) {
+            Some(queue) => {
+                queue.push(item);
+                self.counters.requeued += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Returns true when the queue towards `neighbor` holds at least one message.
@@ -538,6 +601,53 @@ mod tests {
             b1.handle_arrival_scoped(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4), Some(&[]));
         assert!(outcome.local.is_empty());
         assert!(outcome.enqueued_to.is_empty());
+    }
+
+    #[test]
+    fn mid_run_subscription_churn_updates_matching_and_queues() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::MaxEb);
+        // Enqueue a copy serving S0 and S1 (both via B1).
+        b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2));
+        assert_eq!(b0.queued_total(), 1);
+        // S1 leaves: the queued copy keeps serving S0.
+        b0.remove_subscription(SubscriptionId::new(1));
+        assert_eq!(b0.queued_total(), 1);
+        assert_eq!(b0.counters.dropped_unsubscribed, 0);
+        // S0 leaves too: the copy is orphaned and discarded.
+        b0.remove_subscription(SubscriptionId::new(0));
+        assert_eq!(b0.queued_total(), 0);
+        assert_eq!(b0.counters.dropped_unsubscribed, 1);
+        // Only S2 (local) is left in the table: new arrivals deliver locally
+        // and enqueue nothing.
+        let outcome = b0.handle_arrival(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4));
+        assert_eq!(outcome.local.len(), 1);
+        assert!(outcome.enqueued_to.is_empty());
+        // A join re-adds S0 and downstream forwarding resumes.
+        let entry = s.subs[0].clone();
+        let routing = &s.routing;
+        let rebuilt = SubscriptionTable::entry_for(b0.id, routing, &entry.0, entry.1).unwrap();
+        b0.insert_subscription(rebuilt);
+        let outcome = b0.handle_arrival(msg(3, 1.0, 1.0, 0), SimTime::from_millis(6));
+        assert_eq!(outcome.enqueued_to, vec![BrokerId::new(1)]);
+    }
+
+    #[test]
+    fn requeue_counts_and_preserves_the_copy() {
+        let s = setup();
+        let mut b0 = broker(&s, 0, StrategyKind::Fifo);
+        b0.handle_arrival(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2));
+        let send = b0.next_to_send(BrokerId::new(1), SimTime::from_millis(10));
+        let copy = send.message.unwrap();
+        assert_eq!(b0.queued_total(), 0);
+        assert!(b0.requeue(BrokerId::new(1), copy));
+        assert_eq!(b0.queued_total(), 1);
+        assert_eq!(b0.counters.requeued, 1);
+        assert_eq!(b0.counters.dropped_total(), 0);
+        // Requeueing towards an unknown neighbour is reported, not counted.
+        let send = b0.next_to_send(BrokerId::new(1), SimTime::from_millis(12));
+        assert!(!b0.requeue(BrokerId::new(9), send.message.unwrap()));
+        assert_eq!(b0.counters.requeued, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use bdps_types::id::{MessageId, SubscriberId};
 use bdps_types::money::{Earning, Price};
 use bdps_types::time::Duration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-message delivery bookkeeping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +30,11 @@ pub struct ObjectiveTracker {
     total_earning: Earning,
     delay_sum_ms: f64,
     delay_count: u64,
+    /// Every (message, subscriber) pair seen so far — the audit trail behind
+    /// the no-duplicate-delivery invariant, which dynamic scenarios (churn,
+    /// link failures with requeues) could otherwise silently break.
+    seen_pairs: HashSet<(MessageId, SubscriberId)>,
+    duplicate_deliveries: u64,
 }
 
 impl ObjectiveTracker {
@@ -54,6 +59,9 @@ impl ObjectiveTracker {
         delay: Duration,
         on_time: bool,
     ) {
+        if !self.seen_pairs.insert((message, subscriber)) {
+            self.duplicate_deliveries += 1;
+        }
         let stat = self.messages.entry(message).or_default();
         if on_time {
             stat.delivered_on_time += 1;
@@ -114,6 +122,13 @@ impl ObjectiveTracker {
             .unwrap_or(0)
     }
 
+    /// Number of deliveries that reached a (message, subscriber) pair more
+    /// than once. Single-path scoped forwarding guarantees this stays zero,
+    /// including under churn and link failures; the invariant tests assert it.
+    pub fn duplicate_deliveries(&self) -> u64 {
+        self.duplicate_deliveries
+    }
+
     /// Mean end-to-end delay of on-time deliveries, in milliseconds.
     pub fn mean_valid_delay_ms(&self) -> f64 {
         if self.delay_count == 0 {
@@ -137,6 +152,12 @@ impl ObjectiveTracker {
         self.total_earning += other.total_earning;
         self.delay_sum_ms += other.delay_sum_ms;
         self.delay_count += other.delay_count;
+        self.duplicate_deliveries += other.duplicate_deliveries;
+        for pair in &other.seen_pairs {
+            if !self.seen_pairs.insert(*pair) {
+                self.duplicate_deliveries += 1;
+            }
+        }
     }
 }
 
@@ -220,6 +241,35 @@ mod tests {
         assert_eq!(t.delivery_rate(), 0.0);
         assert_eq!(t.total_earning(), Earning::ZERO);
         assert_eq!(t.mean_valid_delay_ms(), 0.0);
+        assert_eq!(t.duplicate_deliveries(), 0);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_audited() {
+        let mut t = ObjectiveTracker::new();
+        t.register_message(MessageId::new(1), 2);
+        let deliver = |t: &mut ObjectiveTracker, sub: u32| {
+            t.record_delivery(
+                MessageId::new(1),
+                SubscriberId::new(sub),
+                Price::unit(),
+                Duration::from_secs(1),
+                true,
+            );
+        };
+        deliver(&mut t, 0);
+        deliver(&mut t, 1);
+        assert_eq!(t.duplicate_deliveries(), 0);
+        deliver(&mut t, 0); // the same pair again
+        assert_eq!(t.duplicate_deliveries(), 1);
+        // Merging two shards that saw the same pair also counts it.
+        let mut a = ObjectiveTracker::new();
+        a.register_message(MessageId::new(2), 1);
+        deliver(&mut a, 5);
+        let mut b = ObjectiveTracker::new();
+        deliver(&mut b, 5);
+        a.merge(&b);
+        assert_eq!(a.duplicate_deliveries(), 1);
     }
 
     #[test]

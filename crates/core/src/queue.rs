@@ -236,6 +236,23 @@ impl OutputQueue {
         Some(self.items.remove(best_idx))
     }
 
+    /// Removes one subscription from every queued copy's target set (used
+    /// when a subscriber leaves mid-run). Copies left with no target are
+    /// dropped entirely; the number of such orphaned copies is returned.
+    pub fn remove_subscription(&mut self, id: SubscriptionId) -> u64 {
+        let mut orphaned = 0;
+        self.items.retain_mut(|item| {
+            item.targets.retain(|t| t.subscription != id);
+            if item.targets.is_empty() {
+                orphaned += 1;
+                false
+            } else {
+                true
+            }
+        });
+        orphaned
+    }
+
     /// Drains every queued message (used when tearing a simulation down).
     pub fn drain(&mut self) -> Vec<QueuedMessage> {
         std::mem::take(&mut self.items)
@@ -391,6 +408,31 @@ mod tests {
         ));
         let first = q.pop_next(SimTime::from_secs(1), &cfg).unwrap();
         assert_eq!(first.message.id, MessageId::new(2));
+    }
+
+    #[test]
+    fn remove_subscription_strips_targets_and_drops_orphans() {
+        let mut q = OutputQueue::new(BrokerId::new(1), LinkId::new(0), 75.0);
+        let t_keep = MatchedTarget {
+            subscription: SubscriptionId::new(7),
+            ..target(30, 1, 60.0, 1)
+        };
+        // Copy 1 only serves subscription 0; copy 2 serves 0 and 7.
+        q.push(queued(msg(1, 0, None), vec![target(30, 1, 60.0, 1)], 0));
+        q.push(queued(
+            msg(2, 0, None),
+            vec![target(30, 1, 60.0, 1), t_keep],
+            0,
+        ));
+        let orphaned = q.remove_subscription(SubscriptionId::new(0));
+        assert_eq!(orphaned, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.items()[0].message.id, MessageId::new(2));
+        assert_eq!(q.items()[0].targets.len(), 1);
+        assert_eq!(q.items()[0].targets[0].subscription, SubscriptionId::new(7));
+        // Removing an id nobody serves changes nothing.
+        assert_eq!(q.remove_subscription(SubscriptionId::new(99)), 0);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

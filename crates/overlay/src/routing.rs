@@ -65,11 +65,20 @@ impl PartialOrd for HeapEntry {
 impl Routing {
     /// Computes single-path routes for every (source, destination) pair.
     pub fn compute(graph: &OverlayGraph) -> Routing {
+        Self::compute_filtered(graph, |_| true)
+    }
+
+    /// Like [`compute`](Self::compute), but only links for which `usable`
+    /// returns true participate. This is the incremental-update entry point
+    /// for dynamic scenarios: when a link fails or recovers mid-run the
+    /// routes are recomputed over the surviving links, so traffic flows
+    /// around outages instead of piling up behind them.
+    pub fn compute_filtered(graph: &OverlayGraph, usable: impl Fn(LinkId) -> bool) -> Routing {
         let n = graph.broker_count();
         let mut table = Vec::with_capacity(n);
         for dest_raw in 0..n {
             let dest = BrokerId::new(dest_raw as u32);
-            table.push(Self::routes_towards(graph, dest));
+            table.push(Self::routes_towards(graph, dest, &usable));
         }
         Routing {
             table,
@@ -82,7 +91,11 @@ impl Routing {
     /// Returns, for every source broker, the first hop of its minimum
     /// mean-rate path towards `dest` together with the accumulated path
     /// statistics.
-    fn routes_towards(graph: &OverlayGraph, dest: BrokerId) -> Vec<Option<RouteEntry>> {
+    fn routes_towards(
+        graph: &OverlayGraph,
+        dest: BrokerId,
+        usable: &impl Fn(LinkId) -> bool,
+    ) -> Vec<Option<RouteEntry>> {
         let n = graph.broker_count();
         let mut dist = vec![f64::INFINITY; n];
         let mut entry: Vec<Option<RouteEntry>> = vec![None; n];
@@ -104,7 +117,7 @@ impl Routing {
                 continue;
             }
             done[v.index()] = true;
-            for link in graph.links().filter(|l| l.to == v) {
+            for link in graph.links().filter(|l| l.to == v && usable(l.id)) {
                 let u = link.from;
                 if done[u.index()] {
                     continue;
@@ -316,6 +329,29 @@ mod tests {
                 assert_eq!(stats.downstream_brokers as usize, path.len() - 1);
             }
         }
+    }
+
+    #[test]
+    fn filtered_compute_routes_around_dead_links() {
+        let g = diamond();
+        // Kill both directions of the cheap B0 - B1 edge (links 0 and 1).
+        let dead = [LinkId::new(0), LinkId::new(1)];
+        let r = Routing::compute_filtered(&g, |l| !dead.contains(&l));
+        let entry = r.route(BrokerId::new(0), BrokerId::new(3)).unwrap();
+        assert_eq!(entry.next_hop, BrokerId::new(2), "must detour via B2");
+        assert!((entry.stats.mean_rate() - 160.0).abs() < 1e-9);
+        assert!(r.is_consistent());
+        // With every link dead, nothing is reachable.
+        let none = Routing::compute_filtered(&g, |_| false);
+        assert!(none.route(BrokerId::new(0), BrokerId::new(3)).is_none());
+        // The unfiltered computation is unchanged by the refactor.
+        let full = Routing::compute(&g);
+        assert_eq!(
+            full.route(BrokerId::new(0), BrokerId::new(3))
+                .unwrap()
+                .next_hop,
+            BrokerId::new(1)
+        );
     }
 
     #[test]

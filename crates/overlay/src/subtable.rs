@@ -99,6 +99,51 @@ impl SubscriptionTable {
         }
     }
 
+    /// Removes a subscription's entry, returning it when present.
+    ///
+    /// Removal keeps the remaining entries in their original insertion order
+    /// so that matching output stays deterministic under churn.
+    pub fn remove(&mut self, id: SubscriptionId) -> Option<SubTableEntry> {
+        let idx = self.by_id.remove(&id)?;
+        self.index.remove(id);
+        let entry = self.entries.remove(idx);
+        for slot in self.by_id.values_mut() {
+            if *slot > idx {
+                *slot -= 1;
+            }
+        }
+        Some(entry)
+    }
+
+    /// Builds the entry this broker should hold for one subscription attached
+    /// at `edge`, consulting `routing` for remote subscribers. Returns `None`
+    /// when the edge broker is currently unreachable (the subscription cannot
+    /// be served from here until routing changes).
+    pub fn entry_for(
+        broker: BrokerId,
+        routing: &Routing,
+        sub: &Subscription,
+        edge: BrokerId,
+    ) -> Option<SubTableEntry> {
+        if edge == broker {
+            Some(SubTableEntry {
+                subscription: sub.clone(),
+                edge_broker: edge,
+                next_hop: None,
+                next_link: None,
+                stats: PathStats::local(),
+            })
+        } else {
+            routing.route(broker, edge).map(|route| SubTableEntry {
+                subscription: sub.clone(),
+                edge_broker: edge,
+                next_hop: Some(route.next_hop),
+                next_link: Some(route.next_link),
+                stats: route.stats,
+            })
+        }
+    }
+
     /// Entries whose filter matches the message head.
     pub fn matching(&self, head: &MessageHead) -> Vec<&SubTableEntry> {
         self.index
@@ -136,22 +181,8 @@ impl SubscriptionTable {
     ) -> SubscriptionTable {
         let mut table = SubscriptionTable::new(broker);
         for (sub, edge) in subscriptions {
-            if *edge == broker {
-                table.insert(SubTableEntry {
-                    subscription: sub.clone(),
-                    edge_broker: *edge,
-                    next_hop: None,
-                    next_link: None,
-                    stats: PathStats::local(),
-                });
-            } else if let Some(route) = routing.route(broker, *edge) {
-                table.insert(SubTableEntry {
-                    subscription: sub.clone(),
-                    edge_broker: *edge,
-                    next_hop: Some(route.next_hop),
-                    next_link: Some(route.next_link),
-                    stats: route.stats,
-                });
+            if let Some(entry) = Self::entry_for(broker, routing, sub, *edge) {
+                table.insert(entry);
             }
         }
         table
@@ -296,6 +327,38 @@ mod tests {
         let m = table.matching(&head(9.9, 9.9));
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].subscription.id, SubscriptionId::new(0));
+    }
+
+    #[test]
+    fn remove_keeps_order_and_index_consistent() {
+        let (_topo, routing, subs) = line_setup();
+        let mut table = SubscriptionTable::build(BrokerId::new(0), &routing, &subs);
+        assert_eq!(table.len(), 2);
+        let removed = table.remove(SubscriptionId::new(0)).unwrap();
+        assert_eq!(removed.subscription.id, SubscriptionId::new(0));
+        assert_eq!(table.len(), 1);
+        assert!(table.entry(SubscriptionId::new(0)).is_none());
+        // The survivor is still reachable through id lookup and matching.
+        let e1 = table.entry(SubscriptionId::new(1)).unwrap();
+        assert_eq!(e1.subscription.id, SubscriptionId::new(1));
+        let m = table.matching(&head(1.0, 1.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].subscription.id, SubscriptionId::new(1));
+        // Removing an absent id is a no-op.
+        assert!(table.remove(SubscriptionId::new(42)).is_none());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn entry_for_matches_build_semantics() {
+        let (_topo, routing, subs) = line_setup();
+        let (sub0, edge0) = &subs[0];
+        let remote =
+            SubscriptionTable::entry_for(BrokerId::new(0), &routing, sub0, *edge0).unwrap();
+        assert_eq!(remote.next_hop, Some(BrokerId::new(1)));
+        let local = SubscriptionTable::entry_for(BrokerId::new(2), &routing, sub0, *edge0).unwrap();
+        assert!(local.is_local());
+        assert_eq!(local.stats, PathStats::local());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use bdps_types::time::Duration;
 use crate::engine::Simulation;
 use crate::report::SimulationReport;
 use crate::runner::{SimulationConfig, TopologySpec};
+use crate::scenario::{DynamicScenario, ScenarioRegistry};
 use crate::workload::WorkloadConfig;
 
 /// Fluent construction of one simulation run.
@@ -58,6 +59,7 @@ pub struct SimulationBuilder {
     seed: u64,
     estimation_error: EstimationError,
     drain_grace: Option<Duration>,
+    scenario: DynamicScenario,
 }
 
 impl Default for SimulationBuilder {
@@ -71,6 +73,7 @@ impl Default for SimulationBuilder {
             seed: 0,
             estimation_error: EstimationError::NONE,
             drain_grace: None,
+            scenario: DynamicScenario::static_scenario(),
         }
     }
 }
@@ -93,6 +96,7 @@ impl SimulationBuilder {
             seed: config.seed,
             estimation_error: config.estimation_error,
             drain_grace: None,
+            scenario: config.scenario.clone(),
         }
     }
 
@@ -189,8 +193,40 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sets the root RNG seed; topology, workload and scheduling randomness
-    /// all derive from it.
+    /// Sets the dynamic scenario of the run — subscription churn, publisher
+    /// bursts, link failures, blackouts, or any hand-placed
+    /// [`ScenarioAction`](crate::scenario::ScenarioAction) stream. Defaults
+    /// to the static scenario (no dynamics, the paper's setting). The
+    /// scenario's randomness derives from the run's seed, so scenario runs
+    /// replay bit-for-bit.
+    pub fn scenario(mut self, scenario: DynamicScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Resolves a scenario by name through the built-in
+    /// [`ScenarioRegistry`] (`"static"`, `"churn"`, `"flash-crowd"`,
+    /// `"link-flap"`, `"blackout"`, `"chaos"`, or their aliases).
+    pub fn scenario_named(self, name: &str) -> Result<Self> {
+        self.scenario_from(&ScenarioRegistry::builtin(), name)
+    }
+
+    /// Resolves a scenario by name through a caller-supplied registry, so
+    /// user-registered scenarios are reachable from configuration files and
+    /// command lines.
+    pub fn scenario_from(mut self, registry: &ScenarioRegistry, name: &str) -> Result<Self> {
+        let scenario = registry.resolve(name).ok_or_else(|| {
+            BdpsError::InvalidConfig(format!(
+                "unknown scenario {name:?} (known: {})",
+                registry.names().join(", ")
+            ))
+        })?;
+        self.scenario = scenario;
+        Ok(self)
+    }
+
+    /// Sets the root RNG seed; topology, workload, scheduling and scenario
+    /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -230,6 +266,7 @@ impl SimulationBuilder {
             scheduler,
             seed: self.seed,
             estimation_error: self.estimation_error,
+            scenario: self.scenario.clone(),
         }
     }
 
@@ -244,12 +281,13 @@ impl SimulationBuilder {
         let mut topo_rng = root.split(0);
         let sim_rng = root.split(1);
         let topology = config.topology.build(&mut topo_rng);
-        let mut sim = Simulation::with_estimation_error(
+        let mut sim = Simulation::with_scenario(
             topology,
             config.workload,
             config.scheduler,
             sim_rng,
             config.estimation_error,
+            config.scenario,
         );
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
@@ -267,6 +305,7 @@ impl SimulationBuilder {
             &config.scheduler.strategy,
             config.scheduler.ebpc_weight,
             config.workload.scenario,
+            &config.scenario.name,
             &config.workload,
             config.seed,
         )

@@ -11,8 +11,11 @@
 //!   message heads, subscription filters, PSD/SSD delay requirements);
 //! * [`engine`] — the event-driven simulation core (event queue, link
 //!   occupancy, broker driving, objective tracking);
+//! * [`scenario`] — dynamic scenarios (subscription churn, publisher
+//!   bursts, link failures, blackouts) materialised into a deterministic
+//!   event stream, plus the name-based [`ScenarioRegistry`];
 //! * [`builder`] — the fluent [`SimulationBuilder`] experiment API
-//!   (`Simulation::builder().topology(..).workload(..).strategy(..).seed(..)`),
+//!   (`Simulation::builder().topology(..).workload(..).strategy(..).scenario(..).seed(..)`),
 //!   the one place runs are assembled;
 //! * [`runner`] — thin wrappers over the builder: one-call execution of a
 //!   materialised config plus parallel parameter sweeps across strategies,
@@ -26,19 +29,28 @@ pub mod builder;
 pub mod engine;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod workload;
 
 pub use builder::SimulationBuilder;
-pub use engine::{Simulation, SimulationOutcome};
-pub use report::{render_csv, render_markdown_table, SimulationReport};
+pub use engine::{PhaseOutcome, Simulation, SimulationOutcome};
+pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
-pub use workload::{ArrivalKind, Scenario, WorkloadConfig};
+pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
+pub use workload::{
+    ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
+    WorkloadConfig,
+};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::builder::SimulationBuilder;
-    pub use crate::engine::{Simulation, SimulationOutcome};
-    pub use crate::report::{render_csv, render_markdown_table, SimulationReport};
+    pub use crate::engine::{PhaseOutcome, Simulation, SimulationOutcome};
+    pub use crate::report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
     pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
-    pub use crate::workload::{ArrivalKind, Scenario, WorkloadConfig};
+    pub use crate::scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
+    pub use crate::workload::{
+        ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
+        WorkloadConfig,
+    };
 }

@@ -3,8 +3,56 @@
 use bdps_core::strategy::StrategyHandle;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::SimulationOutcome;
+use crate::engine::{PhaseOutcome, SimulationOutcome};
 use crate::workload::{Scenario, WorkloadConfig};
+
+/// Per-phase metrics of one run, with NaN-free statistics: a phase during
+/// which nothing was delivered (an all-links-down blackout, say) reports
+/// zero delays rather than NaN percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// The phase label ("run", "burst", "blackout", ...).
+    pub label: String,
+    /// Phase start, in seconds of simulated time.
+    pub start_s: f64,
+    /// Phase end, in seconds of simulated time.
+    pub end_s: f64,
+    /// Messages published during the phase.
+    pub published: u64,
+    /// On-time deliveries during the phase.
+    pub on_time: u64,
+    /// Late deliveries during the phase.
+    pub late: u64,
+    /// Copies dropped during the phase.
+    pub dropped: u64,
+    /// Link transmissions started during the phase.
+    pub transmissions: u64,
+    /// Mean end-to-end delay of the phase's on-time deliveries in ms (0 when
+    /// the phase delivered nothing).
+    pub mean_valid_delay_ms: f64,
+    /// 95th-percentile delay of the phase's on-time deliveries in ms (0 when
+    /// the phase delivered nothing).
+    pub p95_valid_delay_ms: f64,
+}
+
+impl PhaseReport {
+    /// Converts an engine-side phase accumulator into its report row.
+    pub fn from_outcome(phase: &PhaseOutcome) -> Self {
+        let mut delays = phase.delays_ms.clone();
+        PhaseReport {
+            label: phase.label.clone(),
+            start_s: phase.start.as_secs_f64(),
+            end_s: phase.end.as_secs_f64(),
+            published: phase.published,
+            on_time: phase.on_time,
+            late: phase.late,
+            dropped: phase.dropped,
+            transmissions: phase.transmissions,
+            mean_valid_delay_ms: delays.mean(),
+            p95_valid_delay_ms: delays.try_quantile(0.95).unwrap_or(0.0),
+        }
+    }
+}
 
 /// The flat record an experiment binary prints for one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -13,6 +61,8 @@ pub struct SimulationReport {
     pub strategy: String,
     /// Scenario label ("PSD", "SSD", ...).
     pub scenario: String,
+    /// Dynamic-scenario name ("static", "churn", "chaos", ...).
+    pub dynamics: String,
     /// Publishing rate (messages per publisher per minute).
     pub publishing_rate: f64,
     /// The EBPC weight `r` (only meaningful for the EBPC strategy).
@@ -37,10 +87,20 @@ pub struct SimulationReport {
     pub dropped_expired: u64,
     /// Copies dropped by the ε test (eq. 11).
     pub dropped_unlikely: u64,
+    /// Copies dropped because every target unsubscribed mid-run.
+    pub dropped_unsubscribed: u64,
+    /// Copies requeued after their link failed mid-transfer.
+    pub requeued: u64,
+    /// Deliveries that reached the same (message, subscriber) pair twice —
+    /// always 0 under single-path scoped forwarding; reported so regressions
+    /// are loud.
+    pub duplicate_deliveries: u64,
     /// Link transmissions performed.
     pub transmissions: u64,
     /// Mean end-to-end delay of on-time deliveries, in ms.
     pub mean_valid_delay_ms: f64,
+    /// Per-phase breakdown (a single "run" phase for static scenarios).
+    pub phases: Vec<PhaseReport>,
 }
 
 impl SimulationReport {
@@ -50,12 +110,14 @@ impl SimulationReport {
         strategy: &StrategyHandle,
         ebpc_weight: f64,
         scenario: Scenario,
+        dynamics: &str,
         workload: &WorkloadConfig,
         seed: u64,
     ) -> Self {
         SimulationReport {
             strategy: strategy.label().to_owned(),
             scenario: scenario.label().to_owned(),
+            dynamics: dynamics.to_owned(),
             publishing_rate: workload.publishing_rate_per_min,
             ebpc_weight,
             seed,
@@ -68,9 +130,53 @@ impl SimulationReport {
             message_number: outcome.message_number(),
             dropped_expired: outcome.dropped_expired(),
             dropped_unlikely: outcome.dropped_unlikely(),
+            dropped_unsubscribed: outcome.dropped_unsubscribed(),
+            requeued: outcome.requeued(),
+            duplicate_deliveries: outcome.tracker.duplicate_deliveries(),
             transmissions: outcome.transmissions,
             mean_valid_delay_ms: outcome.valid_delays_ms.mean(),
+            phases: outcome
+                .phases
+                .iter()
+                .map(PhaseReport::from_outcome)
+                .collect(),
         }
+    }
+
+    /// Renders the per-phase breakdown as a Markdown table (one row per
+    /// phase; empty phases render zeros, never NaN).
+    pub fn phase_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .phases
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.0}-{:.0}", p.start_s, p.end_s),
+                    p.published.to_string(),
+                    p.on_time.to_string(),
+                    p.late.to_string(),
+                    p.dropped.to_string(),
+                    p.transmissions.to_string(),
+                    format!("{:.1}", p.mean_valid_delay_ms),
+                    format!("{:.1}", p.p95_valid_delay_ms),
+                ]
+            })
+            .collect();
+        render_markdown_table(
+            &[
+                "phase",
+                "t (s)",
+                "published",
+                "on-time",
+                "late",
+                "dropped",
+                "sent",
+                "mean ms",
+                "p95 ms",
+            ],
+            &rows,
+        )
     }
 
     /// Delivery rate in percent (how the paper's Fig. 4b/6a axis is labelled).
@@ -144,11 +250,11 @@ mod tests {
         assert_eq!(c, "a,b\n1,2\n");
     }
 
-    #[test]
-    fn report_unit_conversions() {
-        let r = SimulationReport {
+    fn sample_report() -> SimulationReport {
+        SimulationReport {
             strategy: "EB".into(),
             scenario: "SSD".into(),
+            dynamics: "static".into(),
             publishing_rate: 10.0,
             ebpc_weight: 0.5,
             seed: 1,
@@ -161,11 +267,72 @@ mod tests {
             message_number: 120_000,
             dropped_expired: 5,
             dropped_unlikely: 7,
+            dropped_unsubscribed: 0,
+            requeued: 0,
+            duplicate_deliveries: 0,
             transmissions: 90_000,
             mean_valid_delay_ms: 4_200.0,
-        };
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_unit_conversions() {
+        let r = sample_report();
         assert_eq!(r.delivery_rate_percent(), 50.0);
         assert_eq!(r.earning_k(), 150.0);
         assert_eq!(r.message_number_k(), 120.0);
+    }
+
+    #[test]
+    fn empty_phase_reports_zeros_not_nan() {
+        use crate::engine::PhaseOutcome;
+        use bdps_types::time::SimTime;
+        // An all-links-down window: the phase saw traffic attempts but no
+        // delivery at all. Every statistic must come out finite.
+        let mut phase = PhaseOutcome {
+            label: "blackout".into(),
+            start: SimTime::from_secs(100),
+            end: SimTime::from_secs(200),
+            published: 40,
+            on_time: 0,
+            late: 0,
+            dropped: 12,
+            transmissions: 0,
+            delays_ms: bdps_stats::summary::Summary::new(),
+        };
+        let report = PhaseReport::from_outcome(&phase);
+        assert_eq!(report.mean_valid_delay_ms, 0.0);
+        assert_eq!(report.p95_valid_delay_ms, 0.0);
+        assert!(report.mean_valid_delay_ms.is_finite());
+        assert!(report.p95_valid_delay_ms.is_finite());
+        assert_eq!(report.start_s, 100.0);
+        assert_eq!(report.end_s, 200.0);
+        // A phase with deliveries reports real statistics.
+        phase.delays_ms.extend([100.0, 200.0, 300.0]);
+        phase.on_time = 3;
+        let report = PhaseReport::from_outcome(&phase);
+        assert_eq!(report.mean_valid_delay_ms, 200.0);
+        assert!(report.p95_valid_delay_ms >= 200.0);
+    }
+
+    #[test]
+    fn phase_table_renders_without_nan() {
+        let mut r = sample_report();
+        r.phases = vec![PhaseReport {
+            label: "blackout".into(),
+            start_s: 0.0,
+            end_s: 10.0,
+            published: 0,
+            on_time: 0,
+            late: 0,
+            dropped: 0,
+            transmissions: 0,
+            mean_valid_delay_ms: 0.0,
+            p95_valid_delay_ms: 0.0,
+        }];
+        let table = r.phase_table();
+        assert!(table.contains("blackout"));
+        assert!(!table.contains("NaN"));
     }
 }

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 
 use crate::builder::SimulationBuilder;
 use crate::report::SimulationReport;
+use crate::scenario::DynamicScenario;
 use crate::workload::WorkloadConfig;
 
 /// Which overlay topology a run uses.
@@ -63,6 +64,9 @@ pub struct SimulationConfig {
     /// believed link parameters ([`EstimationError::NONE`] for the paper's
     /// exact-measurement assumption).
     pub estimation_error: EstimationError,
+    /// Dynamic scenario applied to the run (static by default; see
+    /// [`crate::scenario`]).
+    pub scenario: DynamicScenario,
 }
 
 impl SimulationConfig {

@@ -3,6 +3,7 @@
 use bdps_filter::filter::Filter;
 use bdps_filter::predicate::Predicate;
 use bdps_filter::subscription::Subscription;
+use bdps_stats::process::{ArrivalProcess, PoissonArrivals};
 use bdps_stats::rng::SimRng;
 use bdps_types::error::{BdpsError, Result};
 use bdps_types::id::{MessageId, PublisherId, SubscriberId, SubscriptionId};
@@ -201,24 +202,192 @@ impl WorkloadConfig {
         }
     }
 
-    /// The mean gap between publications of one publisher.
-    pub fn mean_publication_gap(&self) -> Option<Duration> {
-        if self.publishing_rate_per_min <= 0.0 {
+    /// The mean gap between publications of one publisher at `multiplier`
+    /// times the base rate, in seconds; `None` when the effective rate is
+    /// zero (or not finite). The single source of truth for gap sampling.
+    fn mean_gap_secs(&self, multiplier: f64) -> Option<f64> {
+        let rate = self.publishing_rate_per_min * multiplier.max(0.0);
+        if rate <= 0.0 || !rate.is_finite() {
             None
         } else {
-            Some(Duration::from_secs_f64(60.0 / self.publishing_rate_per_min))
+            Some(60.0 / rate)
         }
+    }
+
+    /// The mean gap between publications of one publisher.
+    pub fn mean_publication_gap(&self) -> Option<Duration> {
+        self.mean_gap_secs(1.0).map(Duration::from_secs_f64)
     }
 
     /// Draws the gap until a publisher's next publication.
     pub fn next_publication_gap(&self, rng: &mut SimRng) -> Option<Duration> {
-        let mean = self.mean_publication_gap()?;
+        self.next_publication_gap_scaled(1.0, rng)
+    }
+
+    /// Draws the gap until a publisher's next publication with the base rate
+    /// scaled by `multiplier` — the hook dynamic scenarios use to model
+    /// bursts (multiplier > 1) and lulls or pauses (multiplier in [0, 1)).
+    /// A zero effective rate yields `None` (the publisher is silent).
+    pub fn next_publication_gap_scaled(
+        &self,
+        multiplier: f64,
+        rng: &mut SimRng,
+    ) -> Option<Duration> {
+        let mean_secs = self.mean_gap_secs(multiplier)?;
         match self.arrivals {
-            ArrivalKind::Deterministic => Some(mean),
-            ArrivalKind::Poisson => Some(Duration::from_secs_f64(
-                rng.exponential(1.0 / mean.as_secs_f64()),
-            )),
+            ArrivalKind::Deterministic => Some(Duration::from_secs_f64(mean_secs)),
+            ArrivalKind::Poisson => Some(Duration::from_secs_f64(rng.exponential(1.0 / mean_secs))),
         }
+    }
+}
+
+/// A subscription churn process: joins and leaves arrive as independent
+/// Poisson streams over the publication period (the paper's population is
+/// the static special case with both rates zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// New subscriptions per minute (system-wide).
+    pub joins_per_min: f64,
+    /// Departures per minute (system-wide); departures pick a uniformly
+    /// random currently-active subscription.
+    pub leaves_per_min: f64,
+}
+
+impl ChurnConfig {
+    /// A moderate churn level: one join and one leave per minute.
+    pub fn moderate() -> Self {
+        ChurnConfig {
+            joins_per_min: 1.0,
+            leaves_per_min: 1.0,
+        }
+    }
+
+    /// Draws the arrival instants of a Poisson stream at `per_min` events
+    /// per minute over `[0, horizon)`, delegating to the workspace's one
+    /// Poisson implementation
+    /// ([`PoissonArrivals`](bdps_stats::process::PoissonArrivals)).
+    pub fn poisson_instants(per_min: f64, horizon: Duration, rng: &mut SimRng) -> Vec<Duration> {
+        if per_min <= 0.0 || !per_min.is_finite() {
+            return Vec::new();
+        }
+        PoissonArrivals::per_minute(per_min)
+            .arrivals_in(SimTime::ZERO, SimTime::ZERO + horizon, rng)
+            .into_iter()
+            .map(|t| t.duration_since(SimTime::ZERO))
+            .collect()
+    }
+}
+
+/// A two-state MMPP-style burst process for publishers: calm periods at the
+/// base rate alternate with bursts at `multiplier` times the base rate, both
+/// with exponentially distributed lengths (a Markov-modulated Poisson
+/// process, the standard flash-crowd model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Mean length of a calm period, in seconds.
+    pub mean_calm_secs: f64,
+    /// Mean length of a burst, in seconds.
+    pub mean_burst_secs: f64,
+    /// Rate multiplier applied to every publisher while a burst is active.
+    pub multiplier: f64,
+}
+
+impl BurstConfig {
+    /// A flash-crowd profile: five-minute calm stretches interrupted by
+    /// one-minute bursts at four times the base rate.
+    pub fn flash_crowd() -> Self {
+        BurstConfig {
+            mean_calm_secs: 300.0,
+            mean_burst_secs: 60.0,
+            multiplier: 4.0,
+        }
+    }
+
+    /// Samples the alternating `(burst_start, burst_end)` windows over
+    /// `[0, horizon)`, starting in the calm state.
+    pub fn sample_windows(&self, horizon: Duration, rng: &mut SimRng) -> Vec<(Duration, Duration)> {
+        let mut windows = Vec::new();
+        if self.mean_calm_secs <= 0.0 || self.mean_burst_secs <= 0.0 {
+            return windows;
+        }
+        let horizon_secs = horizon.as_secs_f64();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(1.0 / self.mean_calm_secs);
+            if t >= horizon_secs {
+                return windows;
+            }
+            let start = t;
+            t += rng.exponential(1.0 / self.mean_burst_secs);
+            let end = t.min(horizon_secs);
+            windows.push((Duration::from_secs_f64(start), Duration::from_secs_f64(end)));
+            if t >= horizon_secs {
+                return windows;
+            }
+        }
+    }
+}
+
+/// A link failure process: each failure takes one randomly chosen broker
+/// pair down (both directions) for an exponentially distributed repair time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailureConfig {
+    /// Mean time between failures, in seconds (system-wide).
+    pub mean_time_between_failures_secs: f64,
+    /// Mean downtime of a failed link, in seconds.
+    pub mean_downtime_secs: f64,
+}
+
+impl LinkFailureConfig {
+    /// A flaky network: a failure every two minutes, half a minute down.
+    pub fn flaky() -> Self {
+        LinkFailureConfig {
+            mean_time_between_failures_secs: 120.0,
+            mean_downtime_secs: 30.0,
+        }
+    }
+
+    /// Samples `(failure_start, recovery)` windows over `[0, horizon)`.
+    /// Windows may overlap — concurrent failures of different links.
+    pub fn sample_windows(&self, horizon: Duration, rng: &mut SimRng) -> Vec<(Duration, Duration)> {
+        let mut windows = Vec::new();
+        if self.mean_time_between_failures_secs <= 0.0 || self.mean_downtime_secs <= 0.0 {
+            return windows;
+        }
+        let horizon_secs = horizon.as_secs_f64();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(1.0 / self.mean_time_between_failures_secs);
+            if t >= horizon_secs {
+                return windows;
+            }
+            let down = rng.exponential(1.0 / self.mean_downtime_secs);
+            windows.push((
+                Duration::from_secs_f64(t),
+                Duration::from_secs_f64((t + down).min(horizon_secs)),
+            ));
+        }
+    }
+}
+
+/// An explicit outage window during which *every* link is down — the
+/// worst-case scenario behind the empty-phase report edge cases. Expressed
+/// as fractions of the publication period so registry-built scenarios work
+/// at any duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlackoutWindow {
+    /// Start of the outage as a fraction of the publication period, in [0, 1].
+    pub start_frac: f64,
+    /// Length of the outage as a fraction of the publication period.
+    pub duration_frac: f64,
+}
+
+impl BlackoutWindow {
+    /// Resolves the window to absolute simulation times.
+    pub fn resolve(&self, horizon: Duration) -> (Duration, Duration) {
+        let start = horizon.mul_f64(self.start_frac.clamp(0.0, 1.0));
+        let end = horizon.mul_f64((self.start_frac + self.duration_frac).clamp(0.0, 1.0));
+        (start, end.max(start))
     }
 }
 
@@ -353,5 +522,78 @@ mod tests {
 
         let zero = WorkloadConfig::paper_psd(0.0);
         assert_eq!(zero.next_publication_gap(&mut rng), None);
+    }
+
+    #[test]
+    fn scaled_gaps_follow_the_multiplier() {
+        let mut w = WorkloadConfig::paper_psd(6.0); // every 10 s at rate 1x
+        w.arrivals = ArrivalKind::Deterministic;
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(
+            w.next_publication_gap_scaled(1.0, &mut rng),
+            Some(Duration::from_secs(10))
+        );
+        assert_eq!(
+            w.next_publication_gap_scaled(4.0, &mut rng),
+            Some(Duration::from_millis(2_500))
+        );
+        assert_eq!(w.next_publication_gap_scaled(0.0, &mut rng), None);
+        assert_eq!(w.next_publication_gap_scaled(-3.0, &mut rng), None);
+    }
+
+    #[test]
+    fn poisson_instants_are_sorted_and_respect_the_horizon() {
+        let mut rng = SimRng::seed_from(8);
+        let horizon = Duration::from_secs(3_600);
+        let instants = ChurnConfig::poisson_instants(2.0, horizon, &mut rng);
+        // ~2/min over an hour: expect on the order of 120 events.
+        assert!(
+            instants.len() > 60 && instants.len() < 240,
+            "{}",
+            instants.len()
+        );
+        assert!(instants.windows(2).all(|w| w[0] <= w[1]));
+        assert!(instants.iter().all(|t| *t < horizon));
+        assert!(ChurnConfig::poisson_instants(0.0, horizon, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn burst_windows_alternate_and_stay_in_range() {
+        let mut rng = SimRng::seed_from(9);
+        let horizon = Duration::from_secs(3_600);
+        let windows = BurstConfig::flash_crowd().sample_windows(horizon, &mut rng);
+        assert!(!windows.is_empty());
+        let mut last_end = Duration::ZERO;
+        for (start, end) in &windows {
+            assert!(*start >= last_end);
+            assert!(start <= end);
+            assert!(*end <= horizon);
+            last_end = *end;
+        }
+    }
+
+    #[test]
+    fn link_failure_windows_and_blackout_resolution() {
+        let mut rng = SimRng::seed_from(10);
+        let horizon = Duration::from_secs(3_600);
+        let windows = LinkFailureConfig::flaky().sample_windows(horizon, &mut rng);
+        assert!(!windows.is_empty());
+        assert!(windows.iter().all(|(s, e)| s <= e && *e <= horizon));
+
+        let w = BlackoutWindow {
+            start_frac: 0.25,
+            duration_frac: 0.25,
+        };
+        let (start, end) = w.resolve(Duration::from_secs(1_000));
+        assert_eq!(start, Duration::from_secs(250));
+        assert_eq!(end, Duration::from_secs(500));
+        // Degenerate fractions clamp instead of inverting.
+        let w = BlackoutWindow {
+            start_frac: 0.9,
+            duration_frac: 0.5,
+        };
+        let (start, end) = w.resolve(Duration::from_secs(1_000));
+        assert_eq!(start, Duration::from_secs(900));
+        assert_eq!(end, Duration::from_secs(1_000));
     }
 }

@@ -77,6 +77,30 @@ impl Summary {
         self.values.iter().copied().fold(f64::NAN, f64::max)
     }
 
+    /// The `q`-quantile like [`quantile`](Self::quantile), but `None` when no
+    /// observation has been recorded. Reporting code that must never emit NaN
+    /// (e.g. a scenario phase during which every link was down and nothing
+    /// was delivered) should use this and pick its own default.
+    pub fn try_quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.quantile(q))
+        }
+    }
+
+    /// Minimum observation, `None` when empty (NaN-free alternative to
+    /// [`min`](Self::min)).
+    pub fn try_min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum observation, `None` when empty (NaN-free alternative to
+    /// [`max`](Self::max)).
+    pub fn try_max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
     /// statistics; NaN when empty.
     pub fn quantile(&mut self, q: f64) -> f64 {
@@ -275,6 +299,19 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert!(s.quantile(0.5).is_nan());
         assert!(s.min().is_nan());
+        // The NaN-free accessors report absence instead.
+        assert_eq!(s.try_quantile(0.5), None);
+        assert_eq!(s.try_min(), None);
+        assert_eq!(s.try_max(), None);
+    }
+
+    #[test]
+    fn try_accessors_match_plain_ones_when_non_empty() {
+        let mut s = Summary::new();
+        s.extend([4.0, 1.0, 3.0]);
+        assert_eq!(s.try_min(), Some(1.0));
+        assert_eq!(s.try_max(), Some(4.0));
+        assert_eq!(s.try_quantile(0.5), Some(3.0));
     }
 
     #[test]

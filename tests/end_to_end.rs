@@ -203,6 +203,108 @@ fn user_defined_strategy_runs_through_broker_and_simulation() {
 }
 
 #[test]
+fn churn_burst_link_failure_scenario_end_to_end_for_all_five_strategies() {
+    // Acceptance: a combined churn + burst + link-failure scenario runs
+    // end-to-end through `Simulation::builder().scenario(..)`, replays
+    // bit-for-bit for the same seed, and the conservation / no-duplicate
+    // invariants hold — for every paper strategy.
+    let chaos = || {
+        DynamicScenario::named("chaos")
+            .with_churn(ChurnConfig {
+                joins_per_min: 3.0,
+                leaves_per_min: 3.0,
+            })
+            .with_bursts(BurstConfig {
+                mean_calm_secs: 90.0,
+                mean_burst_secs: 45.0,
+                multiplier: 4.0,
+            })
+            .with_link_failures(LinkFailureConfig {
+                mean_time_between_failures_secs: 45.0,
+                mean_downtime_secs: 20.0,
+            })
+    };
+    let build = |strategy: StrategyKind| {
+        Simulation::builder()
+            .layered_mesh(LayeredMeshConfig::small())
+            .ssd(10.0)
+            .duration(Duration::from_secs(300))
+            .strategy(strategy)
+            .scenario(chaos())
+            .seed(2006)
+    };
+    for strategy in StrategyKind::ALL {
+        let outcome = build(strategy).build().run();
+        outcome
+            .check_conservation()
+            .unwrap_or_else(|v| panic!("{}: {v}", strategy.label()));
+        assert_eq!(
+            outcome.tracker.duplicate_deliveries(),
+            0,
+            "{}",
+            strategy.label()
+        );
+        let delivered = outcome.tracker.total_on_time() + outcome.tracker.total_late();
+        assert!(delivered <= outcome.tracker.total_interested());
+        assert!(outcome.tracker.total_on_time() > 0, "{}", strategy.label());
+
+        let a = build(strategy).report();
+        let b = build(strategy).report();
+        assert_eq!(a, b, "{} must replay bit-for-bit", strategy.label());
+        assert_eq!(a.dynamics, "chaos");
+        assert!(a.phases.len() > 1, "burst phases should be visible");
+    }
+}
+
+#[test]
+fn registry_scenarios_run_through_the_builder() {
+    // Every built-in scenario name is runnable end-to-end and reported
+    // under its own name.
+    for name in [
+        "static",
+        "churn",
+        "flash-crowd",
+        "link-flap",
+        "blackout",
+        "chaos",
+    ] {
+        let report = Simulation::builder()
+            .layered_mesh(LayeredMeshConfig::small())
+            .ssd(8.0)
+            .duration(Duration::from_secs(180))
+            .strategy(StrategyKind::MaxEb)
+            .scenario_named(name)
+            .unwrap()
+            .seed(5)
+            .report();
+        assert_eq!(report.dynamics, name);
+        assert!(report.published > 0, "{name}");
+        assert_eq!(report.duplicate_deliveries, 0, "{name}");
+    }
+    assert!(Simulation::builder().scenario_named("nope").is_err());
+}
+
+#[test]
+fn static_scenario_reproduces_pre_scenario_behaviour() {
+    // The scenario subsystem must not perturb the paper evaluation: a run
+    // with the default (static) scenario equals one with an explicitly
+    // constructed empty scenario, through both the builder and the runner.
+    let cfg = quick(StrategyKind::MaxEb, true, 10.0, 77);
+    assert!(cfg.scenario.is_static());
+    let via_runner = run(&cfg);
+    let via_builder = Simulation::builder()
+        .ssd(10.0)
+        .duration(Duration::from_secs(420))
+        .strategy(StrategyKind::MaxEb)
+        .scenario(DynamicScenario::static_scenario())
+        .seed(77)
+        .report();
+    assert_eq!(via_runner, via_builder);
+    assert_eq!(via_builder.phases.len(), 1);
+    assert_eq!(via_builder.phases[0].label, "run");
+}
+
+#[test]
 fn smaller_mesh_and_best_effort_scenario_work() {
     let mut workload = WorkloadConfig::paper_psd(6.0).with_duration(Duration::from_secs(300));
     workload.scenario = Scenario::BestEffort;
