@@ -1,0 +1,503 @@
+//! Population-scaling benchmark: events/sec from paper scale to 10⁵
+//! subscribers.
+//!
+//! The paper stops at 32 brokers / 160 subscribers; the ROADMAP's north star
+//! is a production-scale simulator. This binary sweeps the subscriber
+//! population (160 → ~1k → 10k → 100k, the paper's mesh shape with more
+//! subscribers per edge broker) under dynamic scenarios and measures engine
+//! throughput for each [`EventQueueKind`] — the `O(log n)` binary heap
+//! versus the `O(1)`-amortised calendar queue — writing a machine-readable
+//! `BENCH_scale.json` that CI tracks for regressions.
+//!
+//! Usage: `cargo run --release -p bdps-bench --bin scale -- [--quick]
+//! [--populations 160,992,10000] [--queues heap,calendar]
+//! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
+//! [--out BENCH_scale.json] [--check bench/baseline.json]
+//! [--max-regression 0.25]`.
+//!
+//! With `--check <baseline>`, every cell present in the baseline is compared
+//! by events/sec and the process exits non-zero when any regresses by more
+//! than `--max-regression` (25 % by default) — the contract of the
+//! `bench-perf` CI job.
+
+use bdps_bench::{ArgParser, ExperimentOptions, COMMON_FLAGS_HELP};
+use bdps_overlay::topology::LayeredMeshConfig;
+use bdps_sim::prelude::*;
+use bdps_sim::sched::EventQueueKind;
+use bdps_types::time::Duration;
+use std::time::Instant;
+
+const SCALE_FLAGS_HELP: &str = "--quick | --populations <n,n,..> | --queues <heap,calendar> \
+     | --passes <n> | --out <path> | --check <baseline.json> | --max-regression <frac>";
+
+/// Default populations of the full sweep (paper mesh: multiples of the 16
+/// edge brokers).
+const FULL_POPULATIONS: [usize; 4] = [160, 992, 10_000, 100_000];
+/// Populations of the CI-friendly `--quick` sweep.
+const QUICK_POPULATIONS: [usize; 3] = [160, 992, 10_000];
+
+struct ScaleOptions {
+    common: ExperimentOptions,
+    quick: bool,
+    populations: Vec<usize>,
+    queues: Vec<EventQueueKind>,
+    out: String,
+    check: Option<String>,
+    max_regression: f64,
+    duration_pinned: bool,
+    passes: u32,
+}
+
+impl ScaleOptions {
+    fn from_args() -> Self {
+        let mut parser = ArgParser::from_env();
+        let mut opts = ScaleOptions {
+            common: ExperimentOptions::default(),
+            quick: false,
+            populations: Vec::new(),
+            queues: EventQueueKind::ALL.to_vec(),
+            out: "BENCH_scale.json".to_string(),
+            check: None,
+            max_regression: 0.25,
+            duration_pinned: false,
+            passes: 2,
+        };
+        let result = (|| -> Result<(), String> {
+            while let Some(flag) = parser.next_flag() {
+                if flag == "--duration" || flag == "--full" {
+                    opts.duration_pinned = true;
+                }
+                if opts.common.apply(&flag, &mut parser)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--quick" => opts.quick = true,
+                    "--populations" => {
+                        opts.populations = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|v| {
+                                v.parse::<usize>()
+                                    .map_err(|_| format!("--populations got invalid count {v:?}"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--queues" => {
+                        opts.queues = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|name| {
+                                EventQueueKind::from_name(name).ok_or_else(|| {
+                                    format!("unknown event queue {name:?}; known: heap, calendar")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--passes" => {
+                        opts.passes = parser.parse_value(&flag)?;
+                        if opts.passes == 0 {
+                            return Err("--passes must be at least 1".to_string());
+                        }
+                    }
+                    "--out" => opts.out = parser.value(&flag)?,
+                    "--check" => opts.check = Some(parser.value(&flag)?),
+                    "--max-regression" => opts.max_regression = parser.parse_value(&flag)?,
+                    _ => {
+                        return Err(format!(
+                            "unknown flag {flag:?}; known: {COMMON_FLAGS_HELP} | {SCALE_FLAGS_HELP}"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+        if opts.populations.is_empty() {
+            opts.populations = if opts.quick {
+                QUICK_POPULATIONS.to_vec()
+            } else {
+                FULL_POPULATIONS.to_vec()
+            };
+        }
+        opts
+    }
+
+    /// Simulated seconds per run, shrinking with the population so the
+    /// whole sweep stays tractable (each message fans out to ~25 % of the
+    /// population, so per-message work grows linearly with it).
+    fn duration_secs(&self, population: usize) -> u64 {
+        if self.duration_pinned {
+            return self.common.duration_secs;
+        }
+        match population {
+            0..=1_000 => 300,
+            1_001..=20_000 => 120,
+            _ => 30,
+        }
+    }
+}
+
+/// One measured (population, scenario, queue) cell.
+struct Cell {
+    population: usize,
+    scenario: String,
+    queue: EventQueueKind,
+    strategy: String,
+    duration_secs: u64,
+    build_secs: f64,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_pending_events: u64,
+    published: u64,
+    on_time: u64,
+    scope_interns: u64,
+    scope_intern_hits: u64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("{}/{}/{}", self.population, self.scenario, self.queue)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
+             \"strategy\": \"{}\", \"duration_secs\": {}, \"build_secs\": {:.3}, \
+             \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
+             \"scope_interns\": {}, \"scope_intern_hits\": {}}}",
+            self.population,
+            self.scenario,
+            self.queue,
+            self.strategy,
+            self.duration_secs,
+            self.build_secs,
+            self.wall_secs,
+            self.events,
+            self.events_per_sec,
+            self.peak_pending_events,
+            self.published,
+            self.on_time,
+            self.scope_interns,
+            self.scope_intern_hits,
+        )
+    }
+}
+
+/// The paper's four-layer mesh shape, grown with the population: the edge
+/// layer scales as √population (so both the broker overlay and the
+/// per-broker subscriber load grow), the middle layers follow it, and the
+/// paper's 160-subscriber configuration is reproduced exactly at the low
+/// end. Returns the configuration and the actual population (a multiple of
+/// the edge-broker count).
+fn mesh_for(population: usize) -> (LayeredMeshConfig, usize) {
+    let config = if population <= 160 {
+        let mut paper = LayeredMeshConfig::paper();
+        paper.subscribers_per_edge_broker = population.div_ceil(16).max(1);
+        paper
+    } else {
+        let edges = ((population as f64).sqrt().round() as usize).max(16);
+        LayeredMeshConfig {
+            layer_sizes: vec![4, (edges / 8).max(4), (edges / 2).max(8), edges],
+            fan_in: vec![0, 2, 2],
+            publishers_per_first_layer_broker: 1,
+            subscribers_per_edge_broker: population.div_ceil(edges),
+        }
+    };
+    let actual = config.subscriber_count();
+    (config, actual)
+}
+
+/// Builds and runs one cell `opts.passes` times and keeps the fastest pass
+/// — the first run at a new population pays one-off allocator/page-cache
+/// warmup that would otherwise be misread as a scheduler difference.
+fn run_cell(
+    opts: &ScaleOptions,
+    population: usize,
+    scenario: &DynamicScenario,
+    queue: EventQueueKind,
+    strategy: &bdps_core::strategy::StrategyHandle,
+) -> Cell {
+    let (mesh, actual_population) = mesh_for(population);
+    let duration_secs = opts.duration_secs(population);
+    let builder = Simulation::builder()
+        .layered_mesh(mesh)
+        .ssd(30.0)
+        .duration(Duration::from_secs(duration_secs))
+        .strategy(strategy.clone())
+        .scenario(scenario.clone())
+        .event_queue(queue)
+        .seed(opts.common.seed);
+    let mut best: Option<Cell> = None;
+    for _ in 0..opts.passes {
+        let build_start = Instant::now();
+        let sim = builder.build();
+        let build_secs = build_start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let outcome = sim.run();
+        let wall_secs = run_start.elapsed().as_secs_f64();
+        let cell = Cell {
+            population: actual_population,
+            scenario: scenario.name.clone(),
+            queue,
+            strategy: strategy.label().to_string(),
+            duration_secs,
+            build_secs,
+            wall_secs,
+            events: outcome.events_processed,
+            events_per_sec: outcome.events_processed as f64 / wall_secs.max(1e-9),
+            peak_pending_events: outcome.peak_pending_events,
+            published: outcome.published,
+            on_time: outcome.tracker.total_on_time(),
+            scope_interns: outcome.scope_interns,
+            scope_intern_hits: outcome.scope_intern_hits,
+        };
+        if best.as_ref().is_none_or(|b| cell.wall_secs < b.wall_secs) {
+            best = Some(cell);
+        }
+    }
+    best.expect("at least one pass")
+}
+
+fn write_json(opts: &ScaleOptions, cells: &[Cell]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", opts.common.seed));
+    out.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&cell.to_json_line());
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&opts.out, out)
+}
+
+/// Extracts `"key": value` from a single-line JSON object without a JSON
+/// dependency (the container builds offline; the format is produced by this
+/// same binary, one cell object per line).
+fn extract(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(|s| s.to_string())
+    } else {
+        rest.split([',', '}']).next().map(|s| s.trim().to_string())
+    }
+}
+
+/// `(population/scenario/queue, events_per_sec)` pairs from a baseline file.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|line| line.contains("\"population\""))
+        .filter_map(|line| {
+            let population = extract(line, "population")?;
+            let scenario = extract(line, "scenario")?;
+            let queue = extract(line, "queue")?;
+            let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
+            Some((format!("{population}/{scenario}/{queue}"), eps))
+        })
+        .collect()
+}
+
+/// Compares against a committed baseline; returns the failure messages.
+fn check_regressions(opts: &ScaleOptions, cells: &[Cell]) -> Result<Vec<String>, String> {
+    let path = opts.check.as_deref().expect("check mode");
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path:?}: {e}"))?;
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        return Err(format!("baseline {path:?} contains no cells"));
+    }
+    // Cells faster than this cannot measure throughput within the gate's
+    // tolerance (the 160-population cells finish in ~40 ms, where run-to-run
+    // swings already exceed 25 %); they are reported but never fail the gate.
+    const MIN_GATED_WALL_SECS: f64 = 0.5;
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    println!(
+        "\n## Baseline comparison ({path}, max regression {:.0} %)\n",
+        opts.max_regression * 100.0
+    );
+    let mut rows = Vec::new();
+    for (key, base_eps) in &baseline {
+        let Some(cell) = cells.iter().find(|c| &c.key() == key) else {
+            println!("- note: baseline cell {key} was not part of this run");
+            continue;
+        };
+        let ratio = cell.events_per_sec / base_eps;
+        let gated = cell.wall_secs >= MIN_GATED_WALL_SECS;
+        rows.push(vec![
+            key.clone(),
+            format!("{base_eps:.0}"),
+            format!("{:.0}", cell.events_per_sec),
+            format!("{ratio:.2}x"),
+            if gated { "yes" } else { "too fast to gate" }.to_string(),
+        ]);
+        if !gated {
+            continue;
+        }
+        compared += 1;
+        if ratio < 1.0 - opts.max_regression {
+            failures.push(format!(
+                "{key}: events/sec regressed to {:.0} from baseline {base_eps:.0} ({:.0} %)",
+                cell.events_per_sec,
+                ratio * 100.0
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render_markdown_table(
+            &["cell", "baseline ev/s", "now ev/s", "ratio", "gated"],
+            &rows
+        )
+    );
+    if compared == 0 {
+        // A gate that matches nothing must fail loudly, not pass silently —
+        // otherwise a renamed scenario or drifted population label would
+        // turn the whole perf check into a no-op.
+        return Err(format!(
+            "baseline {path:?} has no gateable cell in common with this run \
+             (populations/scenarios drifted, or every matching cell ran under \
+             {MIN_GATED_WALL_SECS} s); regenerate the baseline"
+        ));
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let opts = ScaleOptions::from_args();
+    println!(
+        "# Scale — engine throughput vs subscriber population\n\n\
+         populations: {:?}, queues: {:?}, seed: {}\n",
+        opts.populations,
+        opts.queues.iter().map(|q| q.name()).collect::<Vec<_>>(),
+        opts.common.seed
+    );
+
+    let default_scenarios: &[&str] = if opts.quick {
+        &["churn"]
+    } else {
+        &["churn", "chaos"]
+    };
+    let scenarios = opts.common.scenarios_or(default_scenarios);
+    let strategies = opts
+        .common
+        .strategies_or(&[bdps_core::config::StrategyKind::MaxEb]);
+    let strategy = &strategies[0];
+    if strategies.len() > 1 {
+        eprintln!(
+            "note: scale uses one strategy per sweep; running {} and ignoring the rest",
+            strategy.label()
+        );
+    }
+
+    // Link-failure scenarios recompute routing and rebuild every broker's
+    // table per link event — O(brokers × population) each time, the cost the
+    // ROADMAP's "incremental table rebuild" item will remove. Until then,
+    // cap them loudly rather than let a 100k chaos cell run for hours.
+    const LINK_SCENARIO_MAX_POPULATION: usize = 20_000;
+
+    let mut cells = Vec::new();
+    for &population in &opts.populations {
+        for scenario in &scenarios {
+            let uses_links = scenario.link_failures.is_some() || !scenario.blackouts.is_empty();
+            if uses_links && population > LINK_SCENARIO_MAX_POPULATION {
+                println!(
+                    "- skipping {} at {} subscribers: link events rebuild every table \
+                     (O(brokers x population)); see ROADMAP \"incremental rebuild\"",
+                    scenario.name, population
+                );
+                continue;
+            }
+            for &queue in &opts.queues {
+                let cell = run_cell(&opts, population, scenario, queue, strategy);
+                println!(
+                    "- {:>7} subs · {:<11} · {:<8}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %)",
+                    cell.population,
+                    cell.scenario,
+                    cell.queue.name(),
+                    cell.events_per_sec,
+                    cell.events,
+                    cell.wall_secs,
+                    cell.peak_pending_events,
+                    100.0 * cell.scope_intern_hits as f64 / cell.scope_interns.max(1) as f64,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Headline: calendar-vs-heap speedup per (population, scenario).
+    println!("\n## events/sec by population (speedup = calendar / heap)\n");
+    let mut rows = Vec::new();
+    for &population in &opts.populations {
+        let (_, actual) = mesh_for(population);
+        for scenario in &scenarios {
+            let find = |queue: EventQueueKind| {
+                cells.iter().find(|c| {
+                    c.population == actual && c.scenario == scenario.name && c.queue == queue
+                })
+            };
+            if let (Some(heap), Some(calendar)) = (
+                find(EventQueueKind::BinaryHeap),
+                find(EventQueueKind::Calendar),
+            ) {
+                rows.push(vec![
+                    format!("{actual}"),
+                    scenario.name.clone(),
+                    format!("{:.0}", heap.events_per_sec),
+                    format!("{:.0}", calendar.events_per_sec),
+                    format!("{:.2}x", calendar.events_per_sec / heap.events_per_sec),
+                ]);
+            }
+        }
+    }
+    if !rows.is_empty() {
+        println!(
+            "{}",
+            render_markdown_table(
+                &[
+                    "population",
+                    "scenario",
+                    "heap ev/s",
+                    "calendar ev/s",
+                    "speedup"
+                ],
+                &rows
+            )
+        );
+    }
+
+    match write_json(&opts, &cells) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
+    }
+
+    if opts.check.is_some() {
+        match check_regressions(&opts, &cells) {
+            Ok(failures) if failures.is_empty() => println!("baseline check passed"),
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,15 +1,23 @@
 //! Prints the paper's simulated network (Figure 3): 32 brokers in 4 layers,
 //! 4 publishers, 160 subscribers, with the drawn per-link rate parameters.
 
+use bdps_bench::ArgParser;
 use bdps_overlay::topology::Topology;
 use bdps_stats::rng::SimRng;
 
 fn main() {
-    let seed = std::env::args()
-        .skip_while(|a| a != "--seed")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20060816u64);
+    let mut parser = ArgParser::from_env();
+    let mut seed = 20060816u64;
+    while let Some(flag) = parser.next_flag() {
+        let result = match flag.as_str() {
+            "--seed" => parser.parse_value(&flag).map(|v| seed = v),
+            _ => Err(format!("unknown flag {flag:?}; known: --seed <n>")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
     let topo = Topology::paper_topology(&mut SimRng::seed_from(seed));
     let g = &topo.graph;
 

@@ -15,13 +15,13 @@
 //! | `ablation_estimation` | effect of bandwidth-estimation error |
 //! | `ablation_scheddelay` | multi-seed variance of the headline comparison |
 //! | `dynamics` | beyond the paper: strategies under churn, bursts, link failures |
+//! | `scale` | beyond the paper: engine events/sec from 160 to 10⁵ subscribers, heap vs calendar scheduler, `BENCH_scale.json` for CI |
 //!
 //! By default the binaries run a shortened publication period so that the
 //! whole suite finishes in minutes; pass `--full` for the paper's 2-hour
 //! runs. The comparison binaries accept `--strategies <a,b,c>` with names
-//! resolved through the
-//! [`StrategyRegistry`](bdps_core::strategy::StrategyRegistry) (`fifo`,
-//! `rl`, `eb`, `pc`, `ebpc`, `composite`, or their display labels).
+//! resolved through the [`StrategyRegistry`] (`fifo`, `rl`, `eb`, `pc`,
+//! `ebpc`, `composite`, or their display labels).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,60 +63,105 @@ impl Default for ExperimentOptions {
     }
 }
 
+/// Cursor over a binary's argument list, shared by every experiment binary
+/// so flag handling (and flag *rejection*) stays uniform.
+#[derive(Debug)]
+pub struct ArgParser {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl ArgParser {
+    /// A parser over the process arguments (program name skipped).
+    pub fn from_env() -> Self {
+        ArgParser::new(std::env::args().skip(1).collect())
+    }
+
+    /// A parser over an explicit argument list.
+    pub fn new(args: Vec<String>) -> Self {
+        ArgParser { args, pos: 0 }
+    }
+
+    /// The next flag, or `None` when the arguments are exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        let arg = self.args.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(arg)
+    }
+
+    /// The value following a flag, or a diagnostic naming the flag.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        let value = self
+            .args
+            .get(self.pos)
+            .ok_or_else(|| format!("{flag} requires a value"))?
+            .clone();
+        self.pos += 1;
+        Ok(value)
+    }
+
+    /// Like [`value`](Self::value), parsed into any `FromStr` type.
+    pub fn parse_value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| format!("{flag} got invalid value {raw:?}"))
+    }
+
+    /// A comma-separated list value (`a,b,c`), trimmed, empties dropped.
+    pub fn list_value(&mut self, flag: &str) -> Result<Vec<String>, String> {
+        Ok(self
+            .value(flag)?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect())
+    }
+}
+
+/// The flags every experiment binary accepts (kept next to
+/// [`ExperimentOptions::apply`] so usage strings stay truthful).
+pub const COMMON_FLAGS_HELP: &str = "--full | --duration <secs> | --seed <n> | --threads <n> \
+     | --strategies <a,b,c> | --scenarios <a,b,c>";
+
 impl ExperimentOptions {
-    /// Parses `--full`, `--duration <secs>`, `--seed <n>`, `--threads <n>`
-    /// and `--strategies <a,b,c>` from the process arguments; anything else
-    /// is ignored.
+    /// Parses the shared flags (`--full`, `--duration <secs>`, `--seed <n>`,
+    /// `--threads <n>`, `--strategies <a,b,c>`, `--scenarios <a,b,c>`) from
+    /// the process arguments. An unknown flag is a **hard error** listing
+    /// the accepted ones — a typo like `--scenario` used to be silently
+    /// ignored, which meant a bench quietly ran its defaults.
     pub fn from_args() -> Self {
+        let mut parser = ArgParser::from_env();
         let mut opts = ExperimentOptions::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--full" => opts.duration_secs = 7_200,
-                "--duration" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        opts.duration_secs = v;
-                        i += 1;
-                    }
+        let result = (|| -> Result<(), String> {
+            while let Some(flag) = parser.next_flag() {
+                if !opts.apply(&flag, &mut parser)? {
+                    return Err(format!("unknown flag {flag:?}; known: {COMMON_FLAGS_HELP}"));
                 }
-                "--seed" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        opts.seed = v;
-                        i += 1;
-                    }
-                }
-                "--threads" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        opts.threads = v;
-                        i += 1;
-                    }
-                }
-                "--strategies" => {
-                    if let Some(v) = args.get(i + 1) {
-                        opts.strategies = v
-                            .split(',')
-                            .map(|s| s.trim().to_string())
-                            .filter(|s| !s.is_empty())
-                            .collect();
-                        i += 1;
-                    }
-                }
-                "--scenarios" => {
-                    if let Some(v) = args.get(i + 1) {
-                        opts.scenarios = v
-                            .split(',')
-                            .map(|s| s.trim().to_string())
-                            .filter(|s| !s.is_empty())
-                            .collect();
-                        i += 1;
-                    }
-                }
-                _ => {}
             }
-            i += 1;
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            std::process::exit(2);
         }
         opts
+    }
+
+    /// Tries to consume one shared flag; returns `Ok(false)` when the flag
+    /// is not one of the shared set (so the binary can try its own flags
+    /// before rejecting). Binary-specific parsers call this first and fall
+    /// through to their own `match`.
+    pub fn apply(&mut self, flag: &str, parser: &mut ArgParser) -> Result<bool, String> {
+        match flag {
+            "--full" => self.duration_secs = 7_200,
+            "--duration" => self.duration_secs = parser.parse_value(flag)?,
+            "--seed" => self.seed = parser.parse_value(flag)?,
+            "--threads" => self.threads = parser.parse_value(flag)?,
+            "--strategies" => self.strategies = parser.list_value(flag)?,
+            "--scenarios" => self.scenarios = parser.list_value(flag)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
     }
 
     /// The strategies a comparison binary should run: the names given with
@@ -280,6 +325,46 @@ mod tests {
         assert!(t.contains("| rate | EB | FIFO |"));
         assert!(t.contains("| 3 | 0-EB | 0-FIFO |"));
         assert!(t.contains("| 6 | 1-EB | 1-FIFO |"));
+    }
+
+    fn parse_all(args: &[&str]) -> Result<ExperimentOptions, String> {
+        let mut parser = ArgParser::new(args.iter().map(|s| s.to_string()).collect());
+        let mut opts = ExperimentOptions::default();
+        while let Some(flag) = parser.next_flag() {
+            if !opts.apply(&flag, &mut parser)? {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+        }
+        Ok(opts)
+    }
+
+    #[test]
+    fn shared_flags_parse_and_unknown_flags_are_rejected() {
+        let opts = parse_all(&[
+            "--duration",
+            "240",
+            "--seed",
+            "7",
+            "--scenarios",
+            "churn, chaos,",
+            "--strategies",
+            "eb,fifo",
+        ])
+        .unwrap();
+        assert_eq!(opts.duration_secs, 240);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.scenarios, vec!["churn", "chaos"]);
+        assert_eq!(opts.strategies, vec!["eb", "fifo"]);
+
+        // The historical silent-skip bug: a singular "--scenario" typo must
+        // be an error, not an ignored token.
+        let err = parse_all(&["--scenario", "churn"]).unwrap_err();
+        assert!(err.contains("--scenario"), "{err}");
+        // Missing and malformed values are diagnosed by flag name.
+        let err = parse_all(&["--seed"]).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
+        let err = parse_all(&["--duration", "soon"]).unwrap_err();
+        assert!(err.contains("--duration"), "{err}");
     }
 
     #[test]

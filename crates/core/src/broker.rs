@@ -14,6 +14,7 @@
 
 use crate::config::SchedulerConfig;
 use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
+use bdps_filter::scope::ScopeSet;
 use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::subtable::{SubTableEntry, SubscriptionTable};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
@@ -21,7 +22,7 @@ use bdps_types::message::Message;
 use bdps_types::money::Price;
 use bdps_types::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// A delivery to a subscriber attached to this broker.
@@ -181,23 +182,45 @@ impl BrokerState {
     /// broker grouped onto that neighbour; the copy therefore carries that
     /// subscription set and the receiving broker must not re-expand it (doing
     /// so would create duplicate deliveries along alternative mesh paths).
-    /// `scope = None` means "all matching subscriptions" and is used at the
-    /// broker the publisher is attached to.
+    /// `scope = None` means "all matching subscriptions" and is used when a
+    /// raw message enters the system without a precomputed scope.
+    ///
+    /// **Contract:** a `Some` scope must consist of subscription ids whose
+    /// filters matched the message when the scope was frozen (the simulator
+    /// freezes it at publication time against the global index). The broker
+    /// trusts the scope and does *not* re-match: because a live
+    /// subscription's filter never changes, presence in this broker's table
+    /// is the only remaining condition, which turns arrival processing into
+    /// `O(|scope|)` id lookups — independent of the total population — where
+    /// it used to re-match the full table and then intersect linearly.
     pub fn handle_arrival_scoped(
         &mut self,
         message: Arc<Message>,
         now: SimTime,
-        scope: Option<&[SubscriptionId]>,
+        scope: Option<&ScopeSet>,
     ) -> ArrivalOutcome {
         self.counters.received += 1;
         let mut outcome = ArrivalOutcome::default();
-        let (mut local, mut remote) = self.table.matching_by_next_hop(&message.head);
-        if let Some(allowed) = scope {
-            local.retain(|e| allowed.contains(&e.subscription.id));
-            for entries in remote.values_mut() {
-                entries.retain(|e| allowed.contains(&e.subscription.id));
+        let mut local: Vec<&SubTableEntry> = Vec::new();
+        // BTreeMap keeps the neighbour groups in ascending broker order, so
+        // forwarding work is deterministic without a post-hoc sort.
+        let mut remote: BTreeMap<BrokerId, Vec<&SubTableEntry>> = BTreeMap::new();
+        match scope {
+            Some(scope) => {
+                for id in scope.iter() {
+                    if let Some(entry) = self.table.entry(id) {
+                        match entry.next_hop {
+                            None => local.push(entry),
+                            Some(nb) => remote.entry(nb).or_default().push(entry),
+                        }
+                    }
+                }
             }
-            remote.retain(|_, entries| !entries.is_empty());
+            None => {
+                let (all_local, all_remote) = self.table.matching_by_next_hop(&message.head);
+                local = all_local;
+                remote.extend(all_remote);
+            }
         }
 
         for entry in local {
@@ -584,11 +607,9 @@ mod tests {
         let s = setup();
         // Broker B1 sees all three subscriptions; scope the arrival to S0 only.
         let mut b1 = broker(&s, 1, StrategyKind::MaxEb);
-        let outcome = b1.handle_arrival_scoped(
-            msg(1, 1.0, 1.0, 0),
-            SimTime::from_millis(2),
-            Some(&[SubscriptionId::new(0)]),
-        );
+        let scope = ScopeSet::from_sorted(vec![SubscriptionId::new(0)]);
+        let outcome =
+            b1.handle_arrival_scoped(msg(1, 1.0, 1.0, 0), SimTime::from_millis(2), Some(&scope));
         // S1 is local to B1 but out of scope: no local delivery.
         assert!(outcome.local.is_empty());
         // Only the copy towards B2 (for S0) is enqueued; nothing goes to B0.
@@ -597,8 +618,11 @@ mod tests {
         assert_eq!(q.items()[0].targets.len(), 1);
         assert_eq!(q.items()[0].targets[0].subscription, SubscriptionId::new(0));
         // An empty scope produces no work at all.
-        let outcome =
-            b1.handle_arrival_scoped(msg(2, 1.0, 1.0, 0), SimTime::from_millis(4), Some(&[]));
+        let outcome = b1.handle_arrival_scoped(
+            msg(2, 1.0, 1.0, 0),
+            SimTime::from_millis(4),
+            Some(&ScopeSet::empty()),
+        );
         assert!(outcome.local.is_empty());
         assert!(outcome.enqueued_to.is_empty());
     }

@@ -13,7 +13,7 @@
 //!   hot path so a strategy can amortise per-queue work;
 //! * [`StrategyHandle`] — a cheaply clonable, type-erased handle
 //!   (`Arc<dyn SchedulingStrategy>`) threaded through
-//!   [`SchedulerConfig`](crate::config::SchedulerConfig), the output queues
+//!   [`SchedulerConfig`], the output queues
 //!   and the broker state machine;
 //! * [`StrategyRegistry`] — name-based lookup used by command-line binaries
 //!   and sweep helpers, open for user-defined registrations.

@@ -10,13 +10,20 @@ use crate::predicate::{CompOp, Predicate};
 use bdps_types::message::MessageHead;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A conjunction of atomic predicates — the unit of subscription routing.
 ///
 /// An empty filter matches every message (it is the "true" filter).
+///
+/// The predicate list is shared behind an `Arc`: a filter is cloned into
+/// every broker's subscription table and matching index, and at 10⁵
+/// subscribers those copies dominated construction time and memory. Cloning
+/// a filter is a reference-count bump; the rare mutation
+/// ([`and`](Self::and)) copies on write.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Filter {
-    predicates: Vec<Predicate>,
+    predicates: Arc<Vec<Predicate>>,
 }
 
 impl Filter {
@@ -27,7 +34,9 @@ impl Filter {
 
     /// Creates a filter from a list of predicates.
     pub fn new(predicates: Vec<Predicate>) -> Self {
-        Filter { predicates }
+        Filter {
+            predicates: Arc::new(predicates),
+        }
     }
 
     /// Builds the paper's workload filter `A1 < x1 ∧ A2 < x2`.
@@ -35,9 +44,9 @@ impl Filter {
         Filter::new(vec![Predicate::lt("A1", x1), Predicate::lt("A2", x2)])
     }
 
-    /// Adds a predicate to the conjunction.
+    /// Adds a predicate to the conjunction (copy-on-write when shared).
     pub fn and(mut self, p: Predicate) -> Self {
-        self.predicates.push(p);
+        Arc::make_mut(&mut self.predicates).push(p);
         self
     }
 
@@ -87,7 +96,7 @@ impl Filter {
 
     /// The conjunction of two filters.
     pub fn intersect(&self, other: &Filter) -> Filter {
-        let mut preds = self.predicates.clone();
+        let mut preds = (*self.predicates).clone();
         preds.extend(other.predicates.iter().cloned());
         Filter::new(preds)
     }

@@ -15,6 +15,9 @@
 //!   against many subscriptions in sub-linear time per subscription;
 //! * [`subscription`] — a subscription bundles a filter with its subscriber
 //!   and its QoS class (delay bound + price, paper §4.2);
+//! * [`scope`] — interned, sorted subscription-id sets ([`ScopeSet`] /
+//!   [`ScopeInterner`]): the scope a message copy carries through the
+//!   overlay, hash-consed so forwarding stops allocating per event;
 //! * [`selectivity`] — selectivity estimation for workload analysis (the
 //!   paper's workload is designed so each message matches 25 % of
 //!   subscriptions on average).
@@ -26,6 +29,7 @@ pub mod filter;
 pub mod index;
 pub mod parser;
 pub mod predicate;
+pub mod scope;
 pub mod selectivity;
 pub mod subscription;
 
@@ -33,6 +37,7 @@ pub use filter::{Filter, FilterExpr};
 pub use index::MatchIndex;
 pub use parser::parse_filter;
 pub use predicate::{CompOp, Predicate};
+pub use scope::{ScopeInterner, ScopeSet};
 pub use subscription::Subscription;
 
 /// Convenience prelude re-exporting the most common items.
@@ -41,5 +46,6 @@ pub mod prelude {
     pub use crate::index::MatchIndex;
     pub use crate::parser::parse_filter;
     pub use crate::predicate::{CompOp, Predicate};
+    pub use crate::scope::{ScopeInterner, ScopeSet};
     pub use crate::subscription::Subscription;
 }

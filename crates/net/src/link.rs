@@ -46,7 +46,7 @@ impl LinkQuality {
         self
     }
 
-    /// The paper's randomly drawn link quality (mean rate U[50,100] ms/KB, σ = 20 ms/KB).
+    /// The paper's randomly drawn link quality (mean rate U\[50,100\] ms/KB, σ = 20 ms/KB).
     pub fn paper_random(rng: &mut SimRng) -> Self {
         LinkQuality::new(NormalRate::paper_random(rng))
     }

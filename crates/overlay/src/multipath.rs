@@ -1,7 +1,7 @@
 //! Link-disjoint multi-path route computation.
 //!
 //! The paper contrasts its single-path routing with the multi-path routing of
-//! mesh systems such as DCP, where "a message [is] transmitted via all
+//! mesh systems such as DCP, where "a message \[is\] transmitted via all
 //! possible paths from a publisher to a subscriber to improve reliability"
 //! at the cost of network traffic (§3.3). This module computes up to `k`
 //! link-disjoint minimum-mean-rate paths by repeated Dijkstra searches with

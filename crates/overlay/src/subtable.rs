@@ -179,13 +179,35 @@ impl SubscriptionTable {
         routing: &Routing,
         subscriptions: &[(Subscription, BrokerId)],
     ) -> SubscriptionTable {
-        let mut table = SubscriptionTable::new(broker);
-        for (sub, edge) in subscriptions {
-            if let Some(entry) = Self::entry_for(broker, routing, sub, *edge) {
-                table.insert(entry);
-            }
+        let entries: Vec<SubTableEntry> = subscriptions
+            .iter()
+            .filter_map(|(sub, edge)| Self::entry_for(broker, routing, sub, *edge))
+            .collect();
+        Self::from_entries(broker, entries)
+    }
+
+    /// Builds a table directly from a prepared entry list, constructing the
+    /// matching index in one bulk pass (`O(n log n)`) instead of `n` sorted
+    /// inserts (`O(n²)`). Entries must have distinct subscription ids —
+    /// every population builder in the workspace guarantees that.
+    pub fn from_entries(broker: BrokerId, entries: Vec<SubTableEntry>) -> SubscriptionTable {
+        let by_id: HashMap<SubscriptionId, usize> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.subscription.id, i))
+            .collect();
+        debug_assert_eq!(by_id.len(), entries.len(), "duplicate subscription ids");
+        let index = MatchIndex::from_subscriptions(
+            entries
+                .iter()
+                .map(|e| (e.subscription.id, &e.subscription.filter)),
+        );
+        SubscriptionTable {
+            broker,
+            entries,
+            by_id,
+            index,
         }
-        table
     }
 
     /// Builds the tables of every broker in the graph.

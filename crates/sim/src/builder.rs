@@ -35,6 +35,7 @@ use crate::engine::Simulation;
 use crate::report::SimulationReport;
 use crate::runner::{SimulationConfig, TopologySpec};
 use crate::scenario::{DynamicScenario, ScenarioRegistry};
+use crate::sched::EventQueueKind;
 use crate::workload::WorkloadConfig;
 
 /// Fluent construction of one simulation run.
@@ -60,6 +61,7 @@ pub struct SimulationBuilder {
     estimation_error: EstimationError,
     drain_grace: Option<Duration>,
     scenario: DynamicScenario,
+    event_queue: EventQueueKind,
 }
 
 impl Default for SimulationBuilder {
@@ -74,6 +76,7 @@ impl Default for SimulationBuilder {
             estimation_error: EstimationError::NONE,
             drain_grace: None,
             scenario: DynamicScenario::static_scenario(),
+            event_queue: EventQueueKind::default(),
         }
     }
 }
@@ -97,6 +100,7 @@ impl SimulationBuilder {
             estimation_error: config.estimation_error,
             drain_grace: None,
             scenario: config.scenario.clone(),
+            event_queue: config.event_queue,
         }
     }
 
@@ -225,6 +229,15 @@ impl SimulationBuilder {
         Ok(self)
     }
 
+    /// Selects the event-scheduler implementation (calendar queue by
+    /// default). Both [`EventQueueKind`]s pop in identical `(time, seq)`
+    /// order, so this changes wall-clock throughput, never results — the
+    /// golden tests pin that equivalence.
+    pub fn event_queue(mut self, kind: EventQueueKind) -> Self {
+        self.event_queue = kind;
+        self
+    }
+
     /// Sets the root RNG seed; topology, workload, scheduling and scenario
     /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -267,6 +280,7 @@ impl SimulationBuilder {
             seed: self.seed,
             estimation_error: self.estimation_error,
             scenario: self.scenario.clone(),
+            event_queue: self.event_queue,
         }
     }
 
@@ -289,6 +303,9 @@ impl SimulationBuilder {
             config.estimation_error,
             config.scenario,
         );
+        if config.event_queue != EventQueueKind::default() {
+            sim = sim.with_event_queue(config.event_queue);
+        }
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
         }

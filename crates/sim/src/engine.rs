@@ -27,6 +27,7 @@ use bdps_core::config::SchedulerConfig;
 use bdps_core::objective::ObjectiveTracker;
 use bdps_core::queue::QueuedMessage;
 use bdps_filter::index::MatchIndex;
+use bdps_filter::scope::{ScopeInterner, ScopeSet};
 use bdps_filter::subscription::Subscription;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::graph::OverlayGraph;
@@ -38,19 +39,11 @@ use bdps_stats::summary::Summary;
 use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriptionId};
 use bdps_types::message::Message;
 use bdps_types::time::{Duration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::scenario::{DynamicScenario, ScenarioAction};
+use crate::sched::{EventQueue, EventQueueKind, Scheduled};
 use crate::workload::WorkloadConfig;
-
-/// One scheduled event.
-struct EventEntry {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
 
 enum EventKind {
     /// A publisher emits its next message. `gen` is the publisher's rate
@@ -58,11 +51,14 @@ enum EventKind {
     /// so the new rate takes effect immediately instead of after one more
     /// old-rate gap.
     Publish { publisher: PublisherId, gen: u64 },
-    /// A broker finishes processing a received message copy.
+    /// A broker finishes processing a received message copy. The scope — the
+    /// interned set of subscription ids the copy serves, frozen at
+    /// publication time — is an `Arc`-backed [`ScopeSet`], so every hop of
+    /// every copy of a message shares one allocation.
     Process {
         broker: BrokerId,
         message: Arc<Message>,
-        scope: Option<Vec<SubscriptionId>>,
+        scope: ScopeSet,
     },
     /// A link finishes transmitting a message copy (targets included so the
     /// copy can be requeued intact if the link died mid-transfer). `gen` is
@@ -77,27 +73,6 @@ enum EventKind {
     },
     /// A scenario action fires.
     Scenario { action: ScenarioAction },
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Per-phase metric accumulation (see [`ScenarioAction::PhaseMark`]).
@@ -166,6 +141,16 @@ pub struct SimulationOutcome {
     pub pending_process_at_end: u64,
     /// Per-phase metric breakdown (a single "run" phase for static scenarios).
     pub phases: Vec<PhaseOutcome>,
+    /// Total events the loop processed — the numerator of the events/sec
+    /// throughput metric the `scale` bench tracks.
+    pub events_processed: u64,
+    /// The deepest the pending-event set ever got (scheduler load indicator).
+    pub peak_pending_events: u64,
+    /// Scope-set interns served / interns that reused an existing
+    /// allocation (see [`ScopeInterner`]).
+    pub scope_interns: u64,
+    /// Interner hits (shared allocations) out of [`scope_interns`](Self::scope_interns).
+    pub scope_intern_hits: u64,
 }
 
 impl SimulationOutcome {
@@ -274,8 +259,16 @@ pub struct Simulation {
     workload: WorkloadConfig,
     scheduler: SchedulerConfig,
     rng: SimRng,
-    events: BinaryHeap<EventEntry>,
+    events: Box<dyn EventQueue<EventKind>>,
     seq: u64,
+    events_processed: u64,
+    peak_pending_events: usize,
+    /// Hash-consing pool for copy scopes; all copies of one message (and all
+    /// messages matching the same population subset) share one allocation.
+    scope_interner: ScopeInterner,
+    /// Scratch id buffer reused across events so scope construction does not
+    /// allocate on the hot path.
+    scope_scratch: Vec<SubscriptionId>,
     next_message: u64,
     end: SimTime,
     drain_grace: Duration,
@@ -435,8 +428,12 @@ impl Simulation {
             workload,
             scheduler,
             rng,
-            events: BinaryHeap::new(),
+            events: EventQueueKind::default().create(),
             seq: 0,
+            events_processed: 0,
+            peak_pending_events: 0,
+            scope_interner: ScopeInterner::new(),
+            scope_scratch: Vec::new(),
             next_message: 0,
             end,
             drain_grace: Duration::from_secs(120),
@@ -476,6 +473,20 @@ impl Simulation {
         self
     }
 
+    /// Swaps the event scheduler implementation (see [`EventQueueKind`]).
+    /// Both schedulers pop in identical `(time, seq)` order, so the choice
+    /// changes throughput, never results. Call before [`run`](Self::run);
+    /// already-scheduled events (scenario stream, publisher seeds) carry
+    /// over.
+    pub fn with_event_queue(mut self, kind: EventQueueKind) -> Self {
+        let mut replacement = kind.create();
+        while let Some(event) = self.events.pop() {
+            replacement.push(event);
+        }
+        self.events = replacement;
+        self
+    }
+
     /// The subscription population of this run (changes under churn).
     pub fn subscriptions(&self) -> &[(Subscription, BrokerId)] {
         &self.subscriptions
@@ -488,11 +499,12 @@ impl Simulation {
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.events.push(EventEntry {
+        self.events.push(Scheduled {
             time,
             seq: self.seq,
-            kind,
+            item: kind,
         });
+        self.peak_pending_events = self.peak_pending_events.max(self.events.len());
     }
 
     fn schedule_next_publication(&mut self, publisher: PublisherId, after: SimTime) {
@@ -525,14 +537,10 @@ impl Simulation {
     /// Runs the simulation to completion and returns the outcome.
     pub fn run(mut self) -> SimulationOutcome {
         let hard_stop = self.end + self.drain_grace;
-        loop {
-            match self.events.peek() {
-                Some(entry) if entry.time <= hard_stop => {}
-                _ => break,
-            }
-            let entry = self.events.pop().expect("peeked entry exists");
+        while let Some(entry) = self.events.pop_if_at_or_before(hard_stop) {
             self.now = entry.time;
-            match entry.kind {
+            self.events_processed += 1;
+            match entry.item {
                 EventKind::Publish { publisher, gen } => {
                     self.on_publish(publisher, gen, entry.time)
                 }
@@ -549,18 +557,17 @@ impl Simulation {
         }
 
         // End-of-run accounting for the conservation invariants: whatever is
-        // left in the heap is either in flight on a link or inside a broker's
-        // processing module; whatever sits in output queues is queued.
+        // left in the event queue is either in flight on a link or inside a
+        // broker's processing module; whatever sits in output queues is
+        // queued.
         let queued_at_end: u64 = self.brokers.iter().map(|b| b.queued_total() as u64).sum();
         let mut in_flight_at_end = 0u64;
         let mut pending_process_at_end = 0u64;
-        for entry in self.events.iter() {
-            match entry.kind {
-                EventKind::SendComplete { .. } => in_flight_at_end += 1,
-                EventKind::Process { .. } => pending_process_at_end += 1,
-                _ => {}
-            }
-        }
+        self.events.for_each(&mut |entry| match entry.item {
+            EventKind::SendComplete { .. } => in_flight_at_end += 1,
+            EventKind::Process { .. } => pending_process_at_end += 1,
+            _ => {}
+        });
         let mut phases = self.phases;
         for i in 0..phases.len() {
             phases[i].end = if i + 1 < phases.len() {
@@ -582,6 +589,10 @@ impl Simulation {
             in_flight_at_end,
             pending_process_at_end,
             phases,
+            events_processed: self.events_processed,
+            peak_pending_events: self.peak_pending_events as u64,
+            scope_interns: self.scope_interner.interns(),
+            scope_intern_hits: self.scope_interner.hits(),
         }
     }
 
@@ -605,8 +616,11 @@ impl Simulation {
         // matching set doubles as the copy's scope, freezing the interested
         // population at publication time — under churn a subscription joining
         // a microsecond later must not receive (nor re-route) this message.
-        let interested = self.global_index.matching(&message.head);
-        self.tracker.register_message(id, interested.len() as u32);
+        let mut ids = std::mem::take(&mut self.scope_scratch);
+        self.global_index.matching_into(&message.head, &mut ids);
+        self.tracker.register_message(id, ids.len() as u32);
+        let scope = self.scope_interner.intern(&ids);
+        self.scope_scratch = ids;
 
         // Hand the message to the attached broker; processing takes PD.
         let done = time + self.scheduler.processing_delay;
@@ -615,7 +629,7 @@ impl Simulation {
             EventKind::Process {
                 broker,
                 message,
-                scope: Some(interested),
+                scope,
             },
         );
         self.schedule_next_publication(publisher, time);
@@ -625,13 +639,13 @@ impl Simulation {
         &mut self,
         broker: BrokerId,
         message: Arc<Message>,
-        scope: Option<Vec<SubscriptionId>>,
+        scope: ScopeSet,
         time: SimTime,
     ) {
         let outcome = self.brokers[broker.index()].handle_arrival_scoped(
             Arc::clone(&message),
             time,
-            scope.as_deref(),
+            Some(&scope),
         );
         for d in &outcome.local {
             self.tracker
@@ -672,14 +686,22 @@ impl Simulation {
         }
         self.completed_transfers += 1;
         // The copy arrives at the downstream broker; processing takes PD.
-        let scope: Vec<SubscriptionId> = queued.targets.iter().map(|t| t.subscription).collect();
+        // Target lists are built in ascending subscription order and every
+        // later mutation preserves it, so the ids intern without sorting;
+        // thanks to the hash-consing pool the scope of a copy travelling a
+        // multi-hop path is allocated once, not once per hop.
+        let mut ids = std::mem::take(&mut self.scope_scratch);
+        ids.clear();
+        ids.extend(queued.targets.iter().map(|t| t.subscription));
+        let scope = self.scope_interner.intern(&ids);
+        self.scope_scratch = ids;
         let done = time + self.scheduler.processing_delay;
         self.push_event(
             done,
             EventKind::Process {
                 broker: to,
                 message: queued.message,
-                scope: Some(scope),
+                scope,
             },
         );
         // Keep the link busy with the next scheduled message, if any.
@@ -818,10 +840,10 @@ impl Simulation {
         if !self.routing_dirty {
             return;
         }
-        if let Some(next) = self.events.peek() {
-            if next.time == self.now
+        if let Some((time, kind)) = self.events.peek() {
+            if time == self.now
                 && matches!(
-                    next.kind,
+                    kind,
                     EventKind::Scenario {
                         action: ScenarioAction::LinkDown { .. } | ScenarioAction::LinkUp { .. }
                     }

@@ -11,6 +11,9 @@
 //!   message heads, subscription filters, PSD/SSD delay requirements);
 //! * [`engine`] — the event-driven simulation core (event queue, link
 //!   occupancy, broker driving, objective tracking);
+//! * [`sched`] — pluggable event schedulers behind the [`EventQueue`]
+//!   trait: the `O(log n)` binary-heap reference and the `O(1)`-amortised
+//!   calendar queue used by default, popping in bit-identical order;
 //! * [`scenario`] — dynamic scenarios (subscription churn, publisher
 //!   bursts, link failures, blackouts) materialised into a deterministic
 //!   event stream, plus the name-based [`ScenarioRegistry`];
@@ -30,6 +33,7 @@ pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod sched;
 pub mod workload;
 
 pub use builder::SimulationBuilder;
@@ -37,6 +41,7 @@ pub use engine::{PhaseOutcome, Simulation, SimulationOutcome};
 pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
 pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
+pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, EventQueueKind, Scheduled};
 pub use workload::{
     ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
     WorkloadConfig,
@@ -49,6 +54,7 @@ pub mod prelude {
     pub use crate::report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
     pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
     pub use crate::scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
+    pub use crate::sched::{EventQueue, EventQueueKind};
     pub use crate::workload::{
         ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
         WorkloadConfig,

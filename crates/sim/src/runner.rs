@@ -1,7 +1,7 @@
 //! One-call experiment execution and parallel parameter sweeps.
 //!
 //! [`run`] and [`sweep`] are thin wrappers over the fluent
-//! [`SimulationBuilder`](crate::builder::SimulationBuilder): a
+//! [`SimulationBuilder`]: a
 //! [`SimulationConfig`] is just a materialised builder, so both entry points
 //! produce bit-identical results for the same configuration. The paper's
 //! figures are produced by sweeping a grid of (strategy, publishing rate) or
@@ -22,6 +22,7 @@ use std::sync::Mutex;
 use crate::builder::SimulationBuilder;
 use crate::report::SimulationReport;
 use crate::scenario::DynamicScenario;
+use crate::sched::EventQueueKind;
 use crate::workload::WorkloadConfig;
 
 /// Which overlay topology a run uses.
@@ -48,7 +49,7 @@ impl TopologySpec {
 }
 
 /// The full configuration of one simulation run — a materialised
-/// [`SimulationBuilder`](crate::builder::SimulationBuilder).
+/// [`SimulationBuilder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
     /// Topology specification.
@@ -67,6 +68,9 @@ pub struct SimulationConfig {
     /// Dynamic scenario applied to the run (static by default; see
     /// [`crate::scenario`]).
     pub scenario: DynamicScenario,
+    /// Which event-scheduler implementation drives the run (calendar queue
+    /// by default; both pop in identical order, see [`crate::sched`]).
+    pub event_queue: EventQueueKind,
 }
 
 impl SimulationConfig {

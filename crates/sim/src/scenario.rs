@@ -16,10 +16,10 @@
 //!   change, link down/up, phase marks for reporting);
 //! * [`DynamicScenario`] — a serialisable scenario description combining
 //!   explicit events with stochastic processes
-//!   ([`ChurnConfig`](crate::workload::ChurnConfig),
-//!   [`BurstConfig`](crate::workload::BurstConfig),
-//!   [`LinkFailureConfig`](crate::workload::LinkFailureConfig),
-//!   [`BlackoutWindow`](crate::workload::BlackoutWindow));
+//!   ([`ChurnConfig`],
+//!   [`BurstConfig`],
+//!   [`LinkFailureConfig`],
+//!   [`BlackoutWindow`]);
 //! * [`ScenarioRegistry`] — name-based lookup mirroring
 //!   [`StrategyRegistry`](bdps_core::strategy::StrategyRegistry), so CLI
 //!   binaries and config files can say `--scenario chaos`.

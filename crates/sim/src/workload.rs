@@ -265,7 +265,7 @@ impl ChurnConfig {
     /// Draws the arrival instants of a Poisson stream at `per_min` events
     /// per minute over `[0, horizon)`, delegating to the workspace's one
     /// Poisson implementation
-    /// ([`PoissonArrivals`](bdps_stats::process::PoissonArrivals)).
+    /// ([`PoissonArrivals`]).
     pub fn poisson_instants(per_min: f64, horizon: Duration, rng: &mut SimRng) -> Vec<Duration> {
         if per_min <= 0.0 || !per_min.is_finite() {
             return Vec::new();

@@ -6,7 +6,7 @@
 //! rates are sums of independent normals, and the Expected Benefit of a
 //! message is a sum of normal tail probabilities. This crate provides:
 //!
-//! * special functions ([`erf`]) — error function, complementary error
+//! * special functions ([`mod@erf`]) — error function, complementary error
 //!   function and their inverses, implemented from scratch;
 //! * [`normal`] — the normal distribution (pdf, cdf, quantile, sampling,
 //!   closure under addition and positive scaling, truncation at zero);

@@ -166,3 +166,30 @@ fn golden_runs_are_stable_within_a_process() {
     let b = golden_run(StrategyKind::MaxEb);
     assert_eq!(a, b);
 }
+
+#[test]
+fn seed_42_reports_are_bit_identical_under_both_event_schedulers() {
+    // The calendar queue and the binary heap must pop in exactly the same
+    // (time, seq) order, so the whole golden table — not just aggregate
+    // counters — is reproduced whichever scheduler drives the run.
+    use bdps::sim::sched::EventQueueKind;
+    for (strategy, expected) in golden_table() {
+        for queue in EventQueueKind::ALL {
+            let report = Simulation::builder()
+                .layered_mesh(LayeredMeshConfig::small())
+                .ssd(20.0)
+                .duration(Duration::from_secs(300))
+                .strategy(strategy)
+                .seed(42)
+                .event_queue(queue)
+                .report();
+            assert_eq!(
+                observed(&report),
+                expected,
+                "{} under the {} scheduler drifted from the golden table",
+                strategy.label(),
+                queue.name()
+            );
+        }
+    }
+}

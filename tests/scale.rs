@@ -1,0 +1,172 @@
+//! Scale invariants: the engine at populations far beyond the paper's 160
+//! subscribers, and the equivalence of the two event-scheduler
+//! implementations.
+//!
+//! The heavy 10k-subscriber smoke test runs in release builds only (debug
+//! executions would dominate the suite); the replay-equivalence tests run
+//! everywhere.
+
+use bdps::core::config::StrategyKind;
+use bdps::overlay::topology::LayeredMeshConfig;
+use bdps::prelude::*;
+use bdps::sim::sched::EventQueueKind;
+
+/// The paper's mesh shape with 625 subscribers per edge broker: 10 000
+/// subscribers on 32 brokers.
+fn mesh_10k() -> LayeredMeshConfig {
+    let mut config = LayeredMeshConfig::paper();
+    config.subscribers_per_edge_broker = 625;
+    config
+}
+
+fn churn_10k(queue: EventQueueKind, seed: u64) -> SimulationOutcome {
+    Simulation::builder()
+        .layered_mesh(mesh_10k())
+        .ssd(6.0)
+        .duration(Duration::from_secs(60))
+        .strategy(StrategyKind::MaxEb)
+        .scenario_named("churn")
+        .expect("churn is a builtin scenario")
+        .event_queue(queue)
+        .seed(seed)
+        .build()
+        .run()
+}
+
+/// 10k-subscriber churn smoke: copy conservation, no duplicate deliveries,
+/// and real traffic. Release-only — a debug run of this population would
+/// dominate the whole suite.
+#[cfg_attr(debug_assertions, ignore = "10k-subscriber run; release builds only")]
+#[test]
+fn ten_thousand_subscriber_churn_keeps_invariants() {
+    let outcome = churn_10k(EventQueueKind::Calendar, 1);
+    outcome.check_conservation().expect("copy conservation");
+    assert_eq!(outcome.tracker.duplicate_deliveries(), 0);
+    assert!(outcome.published > 0);
+    assert!(
+        outcome.tracker.total_interested() > 10 * outcome.published,
+        "10k subscribers must produce mass fan-out: {} interested for {} published",
+        outcome.tracker.total_interested(),
+        outcome.published
+    );
+    assert!(outcome.tracker.total_on_time() > 0);
+    let delivered = outcome.tracker.total_on_time() + outcome.tracker.total_late();
+    assert!(delivered <= outcome.tracker.total_interested());
+    assert!(outcome.events_processed > 0);
+    assert!(outcome.peak_pending_events > 0);
+    // Interning must be active on the hot path.
+    assert!(outcome.scope_interns > 0);
+}
+
+/// The same 10k churn run is bit-identical under both schedulers.
+#[cfg_attr(debug_assertions, ignore = "10k-subscriber run; release builds only")]
+#[test]
+fn ten_thousand_subscriber_run_is_queue_independent() {
+    let heap = churn_10k(EventQueueKind::BinaryHeap, 2);
+    let calendar = churn_10k(EventQueueKind::Calendar, 2);
+    assert_outcomes_identical(&heap, &calendar, "10k churn");
+}
+
+fn assert_outcomes_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
+    assert_eq!(a.published, b.published, "{label}: published");
+    assert_eq!(a.transmissions, b.transmissions, "{label}: transmissions");
+    assert_eq!(
+        a.completed_transfers, b.completed_transfers,
+        "{label}: completed transfers"
+    );
+    assert_eq!(a.message_number(), b.message_number(), "{label}: messages");
+    assert_eq!(
+        a.tracker.total_on_time(),
+        b.tracker.total_on_time(),
+        "{label}: on-time"
+    );
+    assert_eq!(
+        a.tracker.total_late(),
+        b.tracker.total_late(),
+        "{label}: late"
+    );
+    assert_eq!(
+        a.tracker.total_earning().millis(),
+        b.tracker.total_earning().millis(),
+        "{label}: earning"
+    );
+    assert_eq!(a.queued_at_end, b.queued_at_end, "{label}: queued at end");
+    assert_eq!(
+        a.in_flight_at_end, b.in_flight_at_end,
+        "{label}: in flight at end"
+    );
+    assert_eq!(a.finished_at, b.finished_at, "{label}: finish time");
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{label}: events processed"
+    );
+    assert_eq!(a.phases.len(), b.phases.len(), "{label}: phase count");
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.published, pb.published, "{label}: phase published");
+        assert_eq!(
+            pa.transmissions, pb.transmissions,
+            "{label}: phase transmissions"
+        );
+    }
+}
+
+/// Replay equivalence on seeds 1–5: the calendar queue must reproduce the
+/// heap's results bit-for-bit through the most adversarial scenario (chaos:
+/// churn + bursts + link failures, i.e. every event kind and same-instant
+/// event floods).
+#[test]
+fn heap_and_calendar_replay_identically_on_seeds_1_to_5() {
+    for seed in 1..=5u64 {
+        let run = |queue: EventQueueKind| {
+            Simulation::builder()
+                .layered_mesh(LayeredMeshConfig::small())
+                .ssd(12.0)
+                .duration(Duration::from_secs(180))
+                .strategy(StrategyKind::MaxEbpc)
+                .scenario_named("chaos")
+                .expect("chaos is a builtin scenario")
+                .event_queue(queue)
+                .seed(seed)
+                .build()
+                .run()
+        };
+        let heap = run(EventQueueKind::BinaryHeap);
+        let calendar = run(EventQueueKind::Calendar);
+        assert_outcomes_identical(&heap, &calendar, &format!("chaos seed {seed}"));
+    }
+}
+
+/// The queue kind threads through the config layer and round-trips.
+#[test]
+fn event_queue_choice_round_trips_through_config() {
+    let config = Simulation::builder()
+        .layered_mesh(LayeredMeshConfig::small())
+        .event_queue(EventQueueKind::BinaryHeap)
+        .build_config();
+    assert_eq!(config.event_queue, EventQueueKind::BinaryHeap);
+    let rebuilt = SimulationBuilder::from_config(&config).build_config();
+    assert_eq!(rebuilt, config);
+    // Default stays the calendar queue.
+    let default_config = Simulation::builder().build_config();
+    assert_eq!(default_config.event_queue, EventQueueKind::Calendar);
+}
+
+/// The perf counters the scale bench publishes are populated and coherent.
+#[test]
+fn outcome_reports_scheduler_load_counters() {
+    let outcome = Simulation::builder()
+        .layered_mesh(LayeredMeshConfig::small())
+        .ssd(8.0)
+        .duration(Duration::from_secs(120))
+        .strategy(StrategyKind::Fifo)
+        .seed(9)
+        .build()
+        .run();
+    assert!(outcome.events_processed > 0);
+    assert!(outcome.peak_pending_events > 0);
+    assert!(outcome.scope_interns >= outcome.scope_intern_hits);
+    assert!(
+        outcome.scope_intern_hits > 0,
+        "multi-hop forwarding must reuse interned scopes"
+    );
+}
