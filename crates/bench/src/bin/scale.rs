@@ -12,8 +12,8 @@
 //! Usage: `cargo run --release -p bdps-bench --bin scale -- [--quick]
 //! [--populations 160,992,10000] [--queues heap,calendar]
 //! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
-//! [--out BENCH_scale.json] [--check bench/baseline.json]
-//! [--max-regression 0.25]`.
+//! [--rebuild-policy full|incremental] [--out BENCH_scale.json]
+//! [--check bench/baseline.json] [--max-regression 0.25]`.
 //!
 //! With `--check <baseline>`, every cell present in the baseline is compared
 //! by events/sec and the process exits non-zero when any regresses by more
@@ -24,11 +24,13 @@ use bdps_bench::{ArgParser, ExperimentOptions, COMMON_FLAGS_HELP};
 use bdps_overlay::topology::LayeredMeshConfig;
 use bdps_sim::prelude::*;
 use bdps_sim::sched::EventQueueKind;
+use bdps_sim::RebuildPolicy;
 use bdps_types::time::Duration;
 use std::time::Instant;
 
 const SCALE_FLAGS_HELP: &str = "--quick | --populations <n,n,..> | --queues <heap,calendar> \
-     | --passes <n> | --out <path> | --check <baseline.json> | --max-regression <frac>";
+     | --rebuild-policy <full|incremental> | --passes <n> | --out <path> \
+     | --check <baseline.json> | --max-regression <frac>";
 
 /// Default populations of the full sweep (paper mesh: multiples of the 16
 /// edge brokers).
@@ -41,6 +43,7 @@ struct ScaleOptions {
     quick: bool,
     populations: Vec<usize>,
     queues: Vec<EventQueueKind>,
+    rebuild_policy: RebuildPolicy,
     out: String,
     check: Option<String>,
     max_regression: f64,
@@ -56,6 +59,7 @@ impl ScaleOptions {
             quick: false,
             populations: Vec::new(),
             queues: EventQueueKind::ALL.to_vec(),
+            rebuild_policy: RebuildPolicy::default(),
             out: "BENCH_scale.json".to_string(),
             check: None,
             max_regression: 0.25,
@@ -92,6 +96,12 @@ impl ScaleOptions {
                                 })
                             })
                             .collect::<Result<_, _>>()?;
+                    }
+                    "--rebuild-policy" => {
+                        let name = parser.value(&flag)?;
+                        opts.rebuild_policy = RebuildPolicy::from_name(&name).ok_or_else(|| {
+                            format!("unknown rebuild policy {name:?}; known: full, incremental")
+                        })?;
                     }
                     "--passes" => {
                         opts.passes = parser.parse_value(&flag)?;
@@ -146,6 +156,7 @@ struct Cell {
     scenario: String,
     queue: EventQueueKind,
     strategy: String,
+    rebuild_policy: RebuildPolicy,
     duration_secs: u64,
     build_secs: f64,
     wall_secs: f64,
@@ -156,24 +167,35 @@ struct Cell {
     on_time: u64,
     scope_interns: u64,
     scope_intern_hits: u64,
+    tables_rebuilt_full: u64,
+    entries_retargeted: u64,
 }
 
 impl Cell {
     fn key(&self) -> String {
-        format!("{}/{}/{}", self.population, self.scenario, self.queue)
+        format!(
+            "{}/{}/{}/{}",
+            self.population,
+            self.scenario,
+            self.queue,
+            self.rebuild_policy.name()
+        )
     }
 
     fn to_json_line(&self) -> String {
         format!(
             "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
-             \"strategy\": \"{}\", \"duration_secs\": {}, \"build_secs\": {:.3}, \
+             \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"duration_secs\": {}, \
+             \"build_secs\": {:.3}, \
              \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
-             \"scope_interns\": {}, \"scope_intern_hits\": {}}}",
+             \"scope_interns\": {}, \"scope_intern_hits\": {}, \
+             \"tables_rebuilt_full\": {}, \"entries_retargeted\": {}}}",
             self.population,
             self.scenario,
             self.queue,
             self.strategy,
+            self.rebuild_policy.name(),
             self.duration_secs,
             self.build_secs,
             self.wall_secs,
@@ -184,6 +206,8 @@ impl Cell {
             self.on_time,
             self.scope_interns,
             self.scope_intern_hits,
+            self.tables_rebuilt_full,
+            self.entries_retargeted,
         )
     }
 }
@@ -231,6 +255,7 @@ fn run_cell(
         .strategy(strategy.clone())
         .scenario(scenario.clone())
         .event_queue(queue)
+        .rebuild_policy(opts.rebuild_policy)
         .seed(opts.common.seed);
     let mut best: Option<Cell> = None;
     for _ in 0..opts.passes {
@@ -245,6 +270,7 @@ fn run_cell(
             scenario: scenario.name.clone(),
             queue,
             strategy: strategy.label().to_string(),
+            rebuild_policy: opts.rebuild_policy,
             duration_secs,
             build_secs,
             wall_secs,
@@ -255,6 +281,8 @@ fn run_cell(
             on_time: outcome.tracker.total_on_time(),
             scope_interns: outcome.scope_interns,
             scope_intern_hits: outcome.scope_intern_hits,
+            tables_rebuilt_full: outcome.tables_rebuilt_full,
+            entries_retargeted: outcome.entries_retargeted,
         };
         if best.as_ref().is_none_or(|b| cell.wall_secs < b.wall_secs) {
             best = Some(cell);
@@ -292,7 +320,12 @@ fn extract(line: &str, key: &str) -> Option<String> {
     }
 }
 
-/// `(population/scenario/queue, events_per_sec)` pairs from a baseline file.
+/// `(population/scenario/queue/policy, events_per_sec)` pairs from a
+/// baseline file. The rebuild policy is part of the key so a full-policy
+/// run is never gated against incremental baselines (a 40× gap on link
+/// scenarios would read as a regression); baselines from before the policy
+/// existed default to the old always-full behaviour's successor,
+/// "incremental".
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter(|line| line.contains("\"population\""))
@@ -300,8 +333,10 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             let population = extract(line, "population")?;
             let scenario = extract(line, "scenario")?;
             let queue = extract(line, "queue")?;
+            let policy =
+                extract(line, "rebuild_policy").unwrap_or_else(|| "incremental".to_string());
             let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
-            Some((format!("{population}/{scenario}/{queue}"), eps))
+            Some((format!("{population}/{scenario}/{queue}/{policy}"), eps))
         })
         .collect()
 }
@@ -377,16 +412,21 @@ fn main() {
     let opts = ScaleOptions::from_args();
     println!(
         "# Scale — engine throughput vs subscriber population\n\n\
-         populations: {:?}, queues: {:?}, seed: {}\n",
+         populations: {:?}, queues: {:?}, rebuild policy: {}, seed: {}\n",
         opts.populations,
         opts.queues.iter().map(|q| q.name()).collect::<Vec<_>>(),
+        opts.rebuild_policy.name(),
         opts.common.seed
     );
 
+    // Quick includes link-flap so the CI regression gate also tracks the
+    // rebuild path, not just the static-topology hot loop; the full sweep
+    // adds the link-storm (overlapping ~5 s outages every ~2 s), the
+    // scenario the incremental rebuild exists for.
     let default_scenarios: &[&str] = if opts.quick {
-        &["churn"]
+        &["churn", "link-flap"]
     } else {
-        &["churn", "chaos"]
+        &["churn", "chaos", "link-storm"]
     };
     let scenarios = opts.common.scenarios_or(default_scenarios);
     let strategies = opts
@@ -400,28 +440,31 @@ fn main() {
         );
     }
 
-    // Link-failure scenarios recompute routing and rebuild every broker's
-    // table per link event — O(brokers × population) each time, the cost the
-    // ROADMAP's "incremental table rebuild" item will remove. Until then,
-    // cap them loudly rather than let a 100k chaos cell run for hours.
-    const LINK_SCENARIO_MAX_POPULATION: usize = 20_000;
+    // Link-failure scenarios used to be capped at 20k subscribers because a
+    // full rebuild is O(brokers × population) per link event; the
+    // incremental rebuild lifted that cap. Warn loudly when someone asks the
+    // oracle policy to do the old quadratic work at scale.
+    const FULL_REBUILD_WARN_POPULATION: usize = 20_000;
 
     let mut cells = Vec::new();
     for &population in &opts.populations {
         for scenario in &scenarios {
             let uses_links = scenario.link_failures.is_some() || !scenario.blackouts.is_empty();
-            if uses_links && population > LINK_SCENARIO_MAX_POPULATION {
+            if uses_links
+                && opts.rebuild_policy == RebuildPolicy::Full
+                && population > FULL_REBUILD_WARN_POPULATION
+            {
                 println!(
-                    "- skipping {} at {} subscribers: link events rebuild every table \
-                     (O(brokers x population)); see ROADMAP \"incremental rebuild\"",
+                    "- note: {} at {} subscribers under the full rebuild policy rebuilds \
+                     every table per link event (O(brokers x population)); expect a long run \
+                     (drop --rebuild-policy full for the incremental default)",
                     scenario.name, population
                 );
-                continue;
             }
             for &queue in &opts.queues {
                 let cell = run_cell(&opts, population, scenario, queue, strategy);
                 println!(
-                    "- {:>7} subs · {:<11} · {:<8}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %)",
+                    "- {:>7} subs · {:<11} · {:<8}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds)",
                     cell.population,
                     cell.scenario,
                     cell.queue.name(),
@@ -430,6 +473,8 @@ fn main() {
                     cell.wall_secs,
                     cell.peak_pending_events,
                     100.0 * cell.scope_intern_hits as f64 / cell.scope_interns.max(1) as f64,
+                    cell.entries_retargeted,
+                    cell.tables_rebuilt_full,
                 );
                 cells.push(cell);
             }

@@ -309,6 +309,19 @@ impl BrokerState {
         self.table.insert(entry);
     }
 
+    /// Patches the table entries towards one edge broker after a routing
+    /// change (see [`SubscriptionTable::retarget_entries`]) — the
+    /// incremental alternative to [`set_table`](Self::set_table). Queues and
+    /// counters are untouched, exactly like a full table swap.
+    pub fn retarget_entries<'a>(
+        &mut self,
+        routing: &bdps_overlay::routing::Routing,
+        dest: BrokerId,
+        attached: impl IntoIterator<Item = &'a bdps_filter::subscription::Subscription>,
+    ) -> bdps_overlay::subtable::RetargetOutcome {
+        self.table.retarget_entries(routing, dest, attached)
+    }
+
     /// Removes a subscription mid-run: drops its table entry and strips it
     /// from every queued copy's target set. Copies left with no target are
     /// discarded and counted under `dropped_unsubscribed`; the number of such

@@ -30,15 +30,15 @@ pub mod topology;
 
 pub use graph::{BrokerNode, OverlayGraph};
 pub use pathstats::PathStats;
-pub use routing::{RouteEntry, Routing};
-pub use subtable::{SubTableEntry, SubscriptionTable};
+pub use routing::{RouteDelta, RouteEntry, Routing};
+pub use subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
 pub use topology::{LayeredMeshConfig, Topology};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::graph::{BrokerNode, OverlayGraph};
     pub use crate::pathstats::PathStats;
-    pub use crate::routing::{RouteEntry, Routing};
-    pub use crate::subtable::{SubTableEntry, SubscriptionTable};
+    pub use crate::routing::{RouteDelta, RouteEntry, Routing};
+    pub use crate::subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
     pub use crate::topology::{LayeredMeshConfig, Topology};
 }

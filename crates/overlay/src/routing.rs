@@ -29,12 +29,69 @@ pub struct RouteEntry {
 }
 
 /// All-pairs single-path routes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Routing {
     /// `table[dest][source]` — the route entry at `source` towards `dest`
     /// (`None` when `source == dest` or `dest` is unreachable from `source`).
     table: Vec<Vec<Option<RouteEntry>>>,
     broker_count: usize,
+}
+
+/// The outcome of an incremental routing update
+/// ([`Routing::update_for_link_change`]): which `(source, destination)`
+/// pairs' route entries changed — next hop, next link *or* path statistics —
+/// so subscription tables can be patched instead of rebuilt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteDelta {
+    /// `per_source[source]` — destinations whose route from `source`
+    /// changed, in ascending destination order.
+    per_source: Vec<Vec<BrokerId>>,
+    /// Every destination that appears in at least one changed pair.
+    changed_dests: Vec<BrokerId>,
+    /// Total number of changed `(source, destination)` pairs.
+    changed_pairs: usize,
+    /// Destinations whose shortest-path tree was recomputed (a superset of
+    /// [`changed_dests`](Self::changed_dests): a recompute can find the tree
+    /// unchanged).
+    dests_recomputed: usize,
+}
+
+impl RouteDelta {
+    /// Returns true when no route entry changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed_pairs == 0
+    }
+
+    /// Total number of changed `(source, destination)` pairs.
+    pub fn changed_pairs(&self) -> usize {
+        self.changed_pairs
+    }
+
+    /// Number of destination trees that were recomputed.
+    pub fn dests_recomputed(&self) -> usize {
+        self.dests_recomputed
+    }
+
+    /// The destinations whose route entry at `source` changed.
+    pub fn changed_dests(&self, source: BrokerId) -> &[BrokerId] {
+        self.per_source
+            .get(source.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every destination involved in at least one changed pair, ascending.
+    pub fn changed_dests_union(&self) -> &[BrokerId] {
+        &self.changed_dests
+    }
+
+    /// Iterates over every changed `(source, destination)` pair.
+    pub fn pairs(&self) -> impl Iterator<Item = (BrokerId, BrokerId)> + '_ {
+        self.per_source.iter().enumerate().flat_map(|(src, dests)| {
+            let src = BrokerId::new(src as u32);
+            dests.iter().map(move |&dest| (src, dest))
+        })
+    }
 }
 
 #[derive(PartialEq)]
@@ -153,6 +210,121 @@ impl Routing {
             }
         }
         entry
+    }
+
+    /// Incrementally updates the routes after a batch of link liveness
+    /// changes, recomputing only the destinations whose shortest-path tree
+    /// the batch can actually affect, and returns the set of
+    /// `(source, destination)` pairs whose route entry changed.
+    ///
+    /// `removed` are links that were usable when this routing was last
+    /// computed and are not any more; `added` the reverse; `usable` must
+    /// describe the *post-change* liveness. The result is **bit-identical**
+    /// to [`compute_filtered`](Self::compute_filtered) over the same graph
+    /// and `usable` predicate (`tests/properties.rs` pins this against the
+    /// from-scratch oracle):
+    ///
+    /// * removing a link that no route entry of a destination uses cannot
+    ///   change that destination's tree — the chosen entry at every source
+    ///   is the lexicographic minimum `(path cost, next hop)` over its
+    ///   candidates, and the removal only deletes non-winning candidates;
+    /// * adding a link `u -> v` that does not beat `u`'s current
+    ///   `(cost, next hop)` cannot change anything either: any path through
+    ///   the new link costs at least `cost(x, u) + cost(u, dest)` for every
+    ///   source `x`, which never undercuts `x`'s current cost.
+    ///
+    /// Destinations failing these checks are recomputed with the same
+    /// Dijkstra as the full path and diffed entry-by-entry (statistics
+    /// included — an equal-cost tree swap still changes downstream
+    /// variance), so the delta is exact.
+    pub fn update_for_link_change(
+        &mut self,
+        graph: &OverlayGraph,
+        usable: impl Fn(LinkId) -> bool,
+        removed: &[LinkId],
+        added: &[LinkId],
+    ) -> RouteDelta {
+        debug_assert!(removed.iter().all(|&l| !usable(l)), "removed must be dead");
+        debug_assert!(added.iter().all(|&l| usable(l)), "added must be alive");
+        let n = self.broker_count;
+        let mut delta = RouteDelta {
+            per_source: vec![Vec::new(); n],
+            ..RouteDelta::default()
+        };
+        for dest_raw in 0..n {
+            let dest = BrokerId::new(dest_raw as u32);
+            if !Self::row_affected(graph, &self.table[dest_raw], dest, removed, added) {
+                continue;
+            }
+            delta.dests_recomputed += 1;
+            let fresh = Self::routes_towards(graph, dest, &usable);
+            let mut any_changed = false;
+            for (src_raw, (old, new)) in self.table[dest_raw].iter().zip(&fresh).enumerate() {
+                if old != new {
+                    delta.per_source[src_raw].push(dest);
+                    delta.changed_pairs += 1;
+                    any_changed = true;
+                }
+            }
+            if any_changed {
+                delta.changed_dests.push(dest);
+            }
+            self.table[dest_raw] = fresh;
+        }
+        delta
+    }
+
+    /// Returns true when the batch of link changes can affect `dest`'s
+    /// shortest-path tree (see [`update_for_link_change`](Self::update_for_link_change)).
+    fn row_affected(
+        graph: &OverlayGraph,
+        row: &[Option<RouteEntry>],
+        dest: BrokerId,
+        removed: &[LinkId],
+        added: &[LinkId],
+    ) -> bool {
+        for &id in removed {
+            let link = graph.link(id);
+            if row[link.from.index()].is_some_and(|e| e.next_link == id) {
+                return true; // a tree edge died
+            }
+        }
+        for &id in added {
+            let link = graph.link(id);
+            let (u, v) = (link.from, link.to);
+            if u == dest {
+                continue; // the destination never routes anywhere
+            }
+            // Cost of v's remaining path to dest (the Dijkstra distance).
+            let via = if v == dest {
+                0.0
+            } else {
+                match &row[v.index()] {
+                    Some(e) => e.stats.mean_rate(),
+                    None => continue, // v cannot reach dest: the link is useless
+                }
+            };
+            let candidate = via + link.quality.rate_distribution().mean();
+            match &row[u.index()] {
+                // u was unreachable and gains a path.
+                None => return true,
+                Some(e) => {
+                    let current = e.stats.mean_rate();
+                    // The last clause covers parallel links (same endpoints,
+                    // equal cost): the scratch Dijkstra keeps the first
+                    // relaxation, i.e. the lowest link id, so restoring a
+                    // lower-id duplicate of the tree edge flips `next_link`
+                    // even though `(cost, next_hop)` is unchanged.
+                    if candidate < current
+                        || (candidate == current
+                            && (v < e.next_hop || (v == e.next_hop && id < e.next_link)))
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Number of brokers the routing was computed for.
@@ -352,6 +524,178 @@ mod tests {
                 .next_hop,
             BrokerId::new(1)
         );
+    }
+
+    /// Applies a liveness change to a cloned routing via the incremental
+    /// path and checks it matches a from-scratch recompute exactly,
+    /// returning the delta.
+    fn update_and_check(
+        g: &OverlayGraph,
+        routing: &mut Routing,
+        dead: &std::collections::HashSet<LinkId>,
+        removed: &[LinkId],
+        added: &[LinkId],
+    ) -> RouteDelta {
+        let before = routing.clone();
+        let delta = routing.update_for_link_change(g, |l| !dead.contains(&l), removed, added);
+        let scratch = Routing::compute_filtered(g, |l| !dead.contains(&l));
+        assert_eq!(routing, &scratch, "incremental drifted from scratch");
+        // The delta names exactly the pairs that differ from the old table.
+        let mut expected = Vec::new();
+        for dest in 0..g.broker_count() {
+            for src in 0..g.broker_count() {
+                let (src_id, dest_id) = (BrokerId::new(src as u32), BrokerId::new(dest as u32));
+                if before.route(src_id, dest_id) != scratch.route(src_id, dest_id) {
+                    expected.push((src_id, dest_id));
+                }
+            }
+        }
+        let mut reported: Vec<(BrokerId, BrokerId)> = delta.pairs().collect();
+        reported.sort_unstable_by_key(|&(s, d)| (d, s));
+        expected.sort_unstable_by_key(|&(s, d)| (d, s));
+        assert_eq!(reported, expected, "delta must be exact");
+        assert_eq!(delta.changed_pairs(), expected.len());
+        delta
+    }
+
+    #[test]
+    fn incremental_update_matches_scratch_and_reports_exact_delta() {
+        let g = diamond();
+        let mut routing = Routing::compute(&g);
+        let mut dead = std::collections::HashSet::new();
+
+        // Kill the cheap B0 -> B1 direction: every route using it moves.
+        dead.insert(LinkId::new(0));
+        let delta = update_and_check(&g, &mut routing, &dead, &[LinkId::new(0)], &[]);
+        assert!(!delta.is_empty());
+        assert!(delta
+            .changed_dests(BrokerId::new(0))
+            .contains(&BrokerId::new(3)));
+        assert_eq!(
+            routing
+                .route(BrokerId::new(0), BrokerId::new(3))
+                .unwrap()
+                .next_hop,
+            BrokerId::new(2)
+        );
+
+        // Restore it: the delta must undo exactly what the removal changed.
+        dead.remove(&LinkId::new(0));
+        let delta = update_and_check(&g, &mut routing, &dead, &[], &[LinkId::new(0)]);
+        assert!(!delta.is_empty());
+        assert_eq!(routing, Routing::compute(&g));
+    }
+
+    /// Line B0 - B1 - B2 on cheap links (links 0..=3) plus a one-way
+    /// expensive shortcut B0 -> B2 (link 4) that no shortest path uses
+    /// (100 via the line vs 200 direct).
+    fn line_with_unused_shortcut() -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        let b0 = g.add_broker(None);
+        let b1 = g.add_broker(None);
+        let b2 = g.add_broker(None);
+        g.add_bidirectional_link(b0, b1, quality(50.0));
+        g.add_bidirectional_link(b1, b2, quality(50.0));
+        g.add_link(b0, b2, quality(200.0));
+        g
+    }
+
+    #[test]
+    fn removing_an_unused_link_recomputes_nothing() {
+        let g = line_with_unused_shortcut();
+        let mut routing = Routing::compute(&g);
+        let unused = LinkId::new(4);
+        for dest in 0..3u32 {
+            for src in 0..3u32 {
+                if let Some(e) = routing.route(BrokerId::new(src), BrokerId::new(dest)) {
+                    assert_ne!(e.next_link, unused, "the shortcut must be unused");
+                }
+            }
+        }
+        let mut dead = std::collections::HashSet::new();
+        dead.insert(unused);
+        let delta = update_and_check(&g, &mut routing, &dead, &[unused], &[]);
+        assert!(delta.is_empty());
+        assert_eq!(delta.dests_recomputed(), 0, "no tree uses the dead link");
+    }
+
+    #[test]
+    fn restoring_a_non_improving_link_is_a_no_op() {
+        let g = line_with_unused_shortcut();
+        // Start with the shortcut dead, then restore it: the line still wins
+        // everywhere, so the restoration must not recompute anything.
+        let mut dead: std::collections::HashSet<LinkId> = [LinkId::new(4)].into_iter().collect();
+        let mut routing = Routing::compute_filtered(&g, |l| !dead.contains(&l));
+        dead.remove(&LinkId::new(4));
+        let delta = update_and_check(&g, &mut routing, &dead, &[], &[LinkId::new(4)]);
+        assert!(delta.is_empty());
+        assert_eq!(delta.dests_recomputed(), 0, "the shortcut never improves");
+    }
+
+    #[test]
+    fn delta_covers_reachability_transitions() {
+        // A line B0 - B1 - B2: killing both directions of the middle edge
+        // makes B2 unreachable from B0 (and vice versa); entries vanish.
+        let mut g = OverlayGraph::new();
+        let b0 = g.add_broker(None);
+        let b1 = g.add_broker(None);
+        let b2 = g.add_broker(None);
+        g.add_bidirectional_link(b0, b1, quality(50.0)); // links 0, 1
+        g.add_bidirectional_link(b1, b2, quality(50.0)); // links 2, 3
+        let mut routing = Routing::compute(&g);
+        let batch = [LinkId::new(2), LinkId::new(3)];
+        let mut dead: std::collections::HashSet<LinkId> = batch.into_iter().collect();
+        let delta = update_and_check(&g, &mut routing, &dead, &batch, &[]);
+        assert!(routing.route(b0, b2).is_none());
+        assert!(delta.pairs().any(|(s, d)| s == b0 && d == b2));
+        // Restoring re-creates the entries bit-for-bit.
+        dead.clear();
+        update_and_check(&g, &mut routing, &dead, &[], &batch);
+        assert_eq!(routing, Routing::compute(&g));
+        assert!(routing.route(b0, b2).is_some());
+    }
+
+    #[test]
+    fn parallel_equal_cost_links_tie_break_on_link_id() {
+        // Two parallel links B0 -> B1 with identical cost: the scratch
+        // Dijkstra keeps the lower link id, so restoring the lower-id
+        // duplicate while the higher-id one carries the route must flip
+        // `next_link` — a change invisible to the (cost, next hop) pair.
+        let mut g = OverlayGraph::new();
+        let b0 = g.add_broker(None);
+        let b1 = g.add_broker(None);
+        let low = g.add_link(b0, b1, quality(50.0)); // link 0
+        let high = g.add_link(b0, b1, quality(50.0)); // link 1, same cost
+        g.add_link(b1, b0, quality(50.0)); // link 2, so b1 routes back
+
+        // Start with the low-id duplicate dead: routes use the high-id link.
+        let mut dead: std::collections::HashSet<LinkId> = [low].into_iter().collect();
+        let mut routing = Routing::compute_filtered(&g, |l| !dead.contains(&l));
+        assert_eq!(routing.route(b0, b1).unwrap().next_link, high);
+
+        // Restore it: the incremental update must flip next_link to the
+        // lower id, exactly like the from-scratch recompute.
+        dead.clear();
+        let delta = update_and_check(&g, &mut routing, &dead, &[], &[low]);
+        assert!(!delta.is_empty(), "the next_link flip must be reported");
+        assert_eq!(routing.route(b0, b1).unwrap().next_link, low);
+    }
+
+    #[test]
+    fn mixed_batches_with_net_no_op_links() {
+        // Simultaneously remove the cheap path's forward links and restore
+        // nothing: then hand the incremental path a batch where one link
+        // flapped down and up (net no change) alongside a real removal.
+        let g = diamond();
+        let mut routing = Routing::compute(&g);
+        let mut dead = std::collections::HashSet::new();
+        dead.insert(LinkId::new(2)); // B1 -> B3 dies
+        let delta = update_and_check(&g, &mut routing, &dead, &[LinkId::new(2)], &[]);
+        assert!(!delta.is_empty());
+        // A net-no-op flap is simply absent from both removed and added:
+        // the same batch shape the engine produces after coalescing.
+        let delta = update_and_check(&g, &mut routing, &dead, &[], &[]);
+        assert!(delta.is_empty());
     }
 
     #[test]

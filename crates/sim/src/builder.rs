@@ -31,7 +31,7 @@ use bdps_stats::rng::SimRng;
 use bdps_types::error::{BdpsError, Result};
 use bdps_types::time::Duration;
 
-use crate::engine::Simulation;
+use crate::engine::{RebuildPolicy, Simulation};
 use crate::report::SimulationReport;
 use crate::runner::{SimulationConfig, TopologySpec};
 use crate::scenario::{DynamicScenario, ScenarioRegistry};
@@ -62,6 +62,7 @@ pub struct SimulationBuilder {
     drain_grace: Option<Duration>,
     scenario: DynamicScenario,
     event_queue: EventQueueKind,
+    rebuild_policy: RebuildPolicy,
 }
 
 impl Default for SimulationBuilder {
@@ -77,6 +78,7 @@ impl Default for SimulationBuilder {
             drain_grace: None,
             scenario: DynamicScenario::static_scenario(),
             event_queue: EventQueueKind::default(),
+            rebuild_policy: RebuildPolicy::default(),
         }
     }
 }
@@ -101,6 +103,7 @@ impl SimulationBuilder {
             drain_grace: None,
             scenario: config.scenario.clone(),
             event_queue: config.event_queue,
+            rebuild_policy: config.rebuild_policy,
         }
     }
 
@@ -238,6 +241,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the routing/table rebuild policy applied after link events
+    /// (incremental by default). Both [`RebuildPolicy`]s produce
+    /// bit-identical reports — the full rebuild is kept as the differential
+    /// oracle (`tests/rebuild_equivalence.rs`) — so this changes wall-clock
+    /// throughput under link-failure scenarios, never results.
+    pub fn rebuild_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.rebuild_policy = policy;
+        self
+    }
+
     /// Sets the root RNG seed; topology, workload, scheduling and scenario
     /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -281,6 +294,7 @@ impl SimulationBuilder {
             estimation_error: self.estimation_error,
             scenario: self.scenario.clone(),
             event_queue: self.event_queue,
+            rebuild_policy: self.rebuild_policy,
         }
     }
 
@@ -306,6 +320,7 @@ impl SimulationBuilder {
         if config.event_queue != EventQueueKind::default() {
             sim = sim.with_event_queue(config.event_queue);
         }
+        sim = sim.with_rebuild_policy(config.rebuild_policy);
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
         }

@@ -32,13 +32,15 @@ use bdps_filter::subscription::Subscription;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::routing::Routing;
-use bdps_overlay::subtable::SubscriptionTable;
+use bdps_overlay::subtable::{RetargetOutcome, SubscriptionTable};
 use bdps_overlay::topology::Topology;
 use bdps_stats::rng::SimRng;
 use bdps_stats::summary::Summary;
 use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriptionId};
 use bdps_types::message::Message;
 use bdps_types::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::scenario::{DynamicScenario, ScenarioAction};
@@ -73,6 +75,53 @@ enum EventKind {
     },
     /// A scenario action fires.
     Scenario { action: ScenarioAction },
+}
+
+/// How the simulator brings routing and subscription tables back in line
+/// after link liveness changes.
+///
+/// Both policies produce **bit-identical** simulation results — the
+/// incremental path recomputes exactly the destinations a link batch can
+/// affect and patches exactly the entries whose route entry changed, so the
+/// full rebuild survives as the differential oracle
+/// (`tests/rebuild_equivalence.rs` pins report equality per seed × scenario
+/// × scheduler). The difference is pure wall-clock: a full rebuild is
+/// `O(brokers × subscriptions)` per link batch, the incremental patch is
+/// proportional to what actually changed plus one `O(subscriptions)`
+/// grouping pass per coalesced batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RebuildPolicy {
+    /// Recompute all-pairs routes and rebuild every broker's table from the
+    /// full population — the reference implementation, kept as the oracle.
+    Full,
+    /// Recompute only the affected destination trees
+    /// ([`Routing::update_for_link_change`]) and patch only the table
+    /// entries whose next hop or path statistics moved — the default.
+    #[default]
+    Incremental,
+}
+
+impl RebuildPolicy {
+    /// Every selectable policy, oracle first.
+    pub const ALL: [RebuildPolicy; 2] = [RebuildPolicy::Full, RebuildPolicy::Incremental];
+
+    /// Stable CLI/report name (`"full"` / `"incremental"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildPolicy::Full => "full",
+            RebuildPolicy::Incremental => "incremental",
+        }
+    }
+
+    /// Resolves a CLI name (case-insensitive): `"full"` (alias `"rebuild"`)
+    /// or `"incremental"` (aliases `"inc"`, `"delta"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "full" | "rebuild" => Some(RebuildPolicy::Full),
+            "incremental" | "inc" | "delta" => Some(RebuildPolicy::Incremental),
+            _ => None,
+        }
+    }
 }
 
 /// Per-phase metric accumulation (see [`ScenarioAction::PhaseMark`]).
@@ -151,6 +200,16 @@ pub struct SimulationOutcome {
     pub scope_interns: u64,
     /// Interner hits (shared allocations) out of [`scope_interns`](Self::scope_interns).
     pub scope_intern_hits: u64,
+    /// Broker tables rebuilt from the full population after link events:
+    /// every broker on every coalesced link batch under
+    /// [`RebuildPolicy::Full`], plus the brokers whose mass reachability
+    /// transitions the incremental path chose to bulk-rebuild (cheaper than
+    /// entry-at-a-time patching when most destinations moved at once).
+    pub tables_rebuilt_full: u64,
+    /// Table entries patched by the incremental rebuild path — retargeted in
+    /// place, inserted on recovered reachability or removed on lost
+    /// reachability (non-zero only under [`RebuildPolicy::Incremental`]).
+    pub entries_retargeted: u64,
 }
 
 impl SimulationOutcome {
@@ -255,6 +314,17 @@ pub struct Simulation {
     link_fail_gen: Vec<u64>,
     /// Set when link liveness changed since the last routing rebuild.
     routing_dirty: bool,
+    /// Links whose liveness toggled since the last rebuild (deduplicated via
+    /// `link_dirty`); the incremental path diffs them against
+    /// `link_alive_at_rebuild` to find the net removed/restored sets.
+    dirty_links: Vec<LinkId>,
+    link_dirty: Vec<bool>,
+    /// Per-link liveness as of the last routing rebuild.
+    link_alive_at_rebuild: Vec<bool>,
+    /// How routing and tables are brought in line after link events.
+    rebuild_policy: RebuildPolicy,
+    tables_rebuilt_full: u64,
+    entries_retargeted: u64,
     link_of: Vec<Vec<Option<LinkId>>>,
     workload: WorkloadConfig,
     scheduler: SchedulerConfig,
@@ -404,6 +474,8 @@ impl Simulation {
         let link_busy = vec![false; topology.graph.link_count()];
         let link_down_depth = vec![0u32; topology.graph.link_count()];
         let link_fail_gen = vec![0u64; topology.graph.link_count()];
+        let link_dirty = vec![false; topology.graph.link_count()];
+        let link_alive_at_rebuild = vec![true; topology.graph.link_count()];
 
         let publisher_slots = topology
             .publishers
@@ -424,6 +496,12 @@ impl Simulation {
             link_down_depth,
             link_fail_gen,
             routing_dirty: false,
+            dirty_links: Vec::new(),
+            link_dirty,
+            link_alive_at_rebuild,
+            rebuild_policy: RebuildPolicy::default(),
+            tables_rebuilt_full: 0,
+            entries_retargeted: 0,
             link_of,
             workload,
             scheduler,
@@ -484,6 +562,15 @@ impl Simulation {
             replacement.push(event);
         }
         self.events = replacement;
+        self
+    }
+
+    /// Selects the routing/table rebuild policy applied after link events
+    /// (see [`RebuildPolicy`]; incremental by default). Both policies yield
+    /// bit-identical results, so the choice only affects wall-clock time —
+    /// the equivalence suite runs the same seeds under both.
+    pub fn with_rebuild_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.rebuild_policy = policy;
         self
     }
 
@@ -593,6 +680,8 @@ impl Simulation {
             peak_pending_events: self.peak_pending_events as u64,
             scope_interns: self.scope_interner.interns(),
             scope_intern_hits: self.scope_interner.hits(),
+            tables_rebuilt_full: self.tables_rebuilt_full,
+            entries_retargeted: self.entries_retargeted,
         }
     }
 
@@ -795,11 +884,11 @@ impl Simulation {
                 // link flaps back up before they complete. Queued copies
                 // simply wait behind the dead link.
                 self.link_fail_gen[link.index()] += 1;
-                let depth = &mut self.link_down_depth[link.index()];
-                if *depth == 0 {
+                if self.link_down_depth[link.index()] == 0 {
                     self.routing_dirty = true;
+                    self.mark_link_dirty(link);
                 }
-                *depth += 1;
+                self.link_down_depth[link.index()] += 1;
                 self.maybe_rebuild_routing();
             }
             ScenarioAction::LinkUp { link } => {
@@ -808,6 +897,7 @@ impl Simulation {
                     *depth -= 1;
                     if *depth == 0 {
                         self.routing_dirty = true;
+                        self.mark_link_dirty(link);
                     }
                 }
                 self.maybe_rebuild_routing();
@@ -826,9 +916,18 @@ impl Simulation {
         }
     }
 
-    /// Recomputes routing over the currently-alive links and swaps every
-    /// broker's subscription table in place (queues and counters untouched),
-    /// if any link's liveness changed since the last rebuild.
+    /// Records a link whose liveness just toggled, for the incremental
+    /// rebuild's net removed/restored diff.
+    fn mark_link_dirty(&mut self, link: LinkId) {
+        if !self.link_dirty[link.index()] {
+            self.link_dirty[link.index()] = true;
+            self.dirty_links.push(link);
+        }
+    }
+
+    /// Brings routing and every broker's subscription table back in line
+    /// with current link liveness (queues and counters untouched), if any
+    /// link's liveness changed since the last rebuild.
     ///
     /// Every link event calls this; when the immediately following event is
     /// another link change at the same instant (a blackout floods hundreds
@@ -836,6 +935,12 @@ impl Simulation {
     /// pure coalescing, the dirty flag guarantees it cannot be lost even if
     /// that last event is itself a liveness no-op (e.g. the second down of a
     /// nested failure).
+    ///
+    /// Under [`RebuildPolicy::Full`] routing is recomputed from scratch and
+    /// every table rebuilt from the full population; under
+    /// [`RebuildPolicy::Incremental`] only the destinations the batch can
+    /// affect are recomputed and only the entries whose route entry changed
+    /// are patched. Both paths leave routing and tables in identical states.
     fn maybe_rebuild_routing(&mut self) {
         if !self.routing_dirty {
             return;
@@ -852,6 +957,44 @@ impl Simulation {
                 return;
             }
         }
+        self.routing_dirty = false;
+        match self.rebuild_policy {
+            RebuildPolicy::Full => self.rebuild_routing_full(),
+            RebuildPolicy::Incremental => self.rebuild_routing_incremental(),
+        }
+    }
+
+    /// Resolves the dirty-link set against the liveness snapshot of the last
+    /// rebuild, returning the links that net-failed and net-recovered since
+    /// then (a link that flapped down and back up within one coalesced batch
+    /// appears in neither) and refreshing the snapshot.
+    fn drain_dirty_links(&mut self) -> (Vec<LinkId>, Vec<LinkId>) {
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        for &link in &self.dirty_links {
+            let i = link.index();
+            self.link_dirty[i] = false;
+            let alive = self.link_down_depth[i] == 0;
+            if alive == self.link_alive_at_rebuild[i] {
+                continue;
+            }
+            self.link_alive_at_rebuild[i] = alive;
+            if alive {
+                added.push(link);
+            } else {
+                removed.push(link);
+            }
+        }
+        self.dirty_links.clear();
+        (removed, added)
+    }
+
+    /// The original rebuild: all-pairs routing recompute plus a from-scratch
+    /// table rebuild on every broker — `O(brokers × subscriptions)` per
+    /// coalesced link batch. Kept as the differential oracle behind
+    /// [`RebuildPolicy::Full`].
+    fn rebuild_routing_full(&mut self) {
+        let _ = self.drain_dirty_links(); // keep the snapshot coherent
         let depth = std::mem::take(&mut self.link_down_depth);
         self.routing = Routing::compute_filtered(&self.believed_graph, |l| depth[l.index()] == 0);
         self.link_down_depth = depth;
@@ -860,7 +1003,83 @@ impl Simulation {
                 SubscriptionTable::build(self.brokers[i].id, &self.routing, &self.subscriptions);
             self.brokers[i].set_table(table);
         }
-        self.routing_dirty = false;
+        self.tables_rebuilt_full += self.brokers.len() as u64;
+    }
+
+    /// The incremental rebuild: recompute only the destination trees the
+    /// link batch can affect, then patch only the `(broker, destination)`
+    /// table entries whose route entry changed — work proportional to the
+    /// change, not the population.
+    fn rebuild_routing_incremental(&mut self) {
+        let (removed, added) = self.drain_dirty_links();
+        if removed.is_empty() && added.is_empty() {
+            return; // the batch was a net liveness no-op
+        }
+        let depth = std::mem::take(&mut self.link_down_depth);
+        let delta = self.routing.update_for_link_change(
+            &self.believed_graph,
+            |l| depth[l.index()] == 0,
+            &removed,
+            &added,
+        );
+        self.link_down_depth = depth;
+        if delta.is_empty() {
+            return;
+        }
+        // Group the population by edge broker, but only for the destinations
+        // that actually appear in the delta — one pass over the population
+        // instead of one pass per broker.
+        let mut attached: HashMap<BrokerId, Vec<&Subscription>> = delta
+            .changed_dests_union()
+            .iter()
+            .map(|&dest| (dest, Vec::new()))
+            .collect();
+        for (sub, edge) in &self.subscriptions {
+            if let Some(list) = attached.get_mut(edge) {
+                list.push(sub);
+            }
+        }
+        let routing = &self.routing;
+        let population = self.subscriptions.len();
+        let mut patched = RetargetOutcome::default();
+        let mut bulk_rebuilt = 0u64;
+        for (i, broker) in self.brokers.iter_mut().enumerate() {
+            let source = BrokerId::new(i as u32);
+            let dests = delta.changed_dests(source);
+            // Retargeting an entry in place is O(1), but a reachability
+            // transition removes or inserts it — O(population) each through
+            // the ordered entry vector and the matching index, O(n²) across
+            // a mass transition (a blackout severing everything, a
+            // partition healing). Estimate the transition volume first:
+            // reachability is per (broker, destination), so probing one
+            // subscription per changed destination classifies the whole
+            // group. When transitions reach an eighth of the population,
+            // one bulk O(n log n) rebuild is cheaper than patching — and
+            // produces the identical table, so the fallback can never
+            // change results, only wall-clock.
+            let mut transitions = 0usize;
+            for &dest in dests {
+                let subs = attached.get(&dest).map(Vec::as_slice).unwrap_or(&[]);
+                let Some(first) = subs.first() else { continue };
+                let present = broker.table().entry(first.id).is_some();
+                let reachable = dest == source || routing.route(source, dest).is_some();
+                if present != reachable {
+                    transitions += subs.len();
+                }
+            }
+            if transitions * 8 >= population.max(1) {
+                let table = SubscriptionTable::build(source, routing, &self.subscriptions);
+                broker.set_table(table);
+                bulk_rebuilt += 1;
+                continue;
+            }
+            for &dest in dests {
+                let subs = attached.get(&dest).map(Vec::as_slice).unwrap_or(&[]);
+                patched.absorb(broker.retarget_entries(routing, dest, subs.iter().copied()));
+            }
+        }
+        self.entries_retargeted += patched.total();
+        self.tables_rebuilt_full += bulk_rebuilt;
     }
 }
 
@@ -1355,6 +1574,97 @@ mod tests {
         );
         out.check_conservation().unwrap();
         assert_eq!(out.tracker.duplicate_deliveries(), 0);
+    }
+
+    #[test]
+    fn rebuild_policies_agree_and_report_their_counters() {
+        let run = |policy: RebuildPolicy| {
+            let topo = small_topology(26);
+            let mut w = WorkloadConfig::paper_ssd(10.0);
+            w.duration = Duration::from_secs(300);
+            let flaky = DynamicScenario::named("flaky").with_link_failures(LinkFailureConfig {
+                mean_time_between_failures_secs: 15.0,
+                mean_downtime_secs: 15.0,
+            });
+            Simulation::with_scenario(
+                topo,
+                w,
+                SchedulerConfig::paper(StrategyKind::MaxEb),
+                SimRng::seed_from(26),
+                EstimationError::NONE,
+                flaky,
+            )
+            .with_rebuild_policy(policy)
+            .run()
+        };
+        let full = run(RebuildPolicy::Full);
+        let incremental = run(RebuildPolicy::Incremental);
+        // Bit-identical results whichever policy rebuilds the tables.
+        assert_eq!(full.published, incremental.published);
+        assert_eq!(full.transmissions, incremental.transmissions);
+        assert_eq!(full.message_number(), incremental.message_number());
+        assert_eq!(
+            full.tracker.total_on_time(),
+            incremental.tracker.total_on_time()
+        );
+        assert_eq!(
+            full.tracker.total_earning().millis(),
+            incremental.tracker.total_earning().millis()
+        );
+        assert_eq!(full.queued_at_end, incremental.queued_at_end);
+        assert_eq!(full.requeued(), incremental.requeued());
+        // The oracle only ever rebuilds whole tables; the incremental path
+        // does the bulk of its work through in-place retargets and falls
+        // back to bulk rebuilds only for brokers caught in reachability
+        // transitions — always strictly fewer than rebuilding everyone on
+        // every batch.
+        assert!(full.tables_rebuilt_full > 0);
+        assert_eq!(full.entries_retargeted, 0);
+        assert!(incremental.entries_retargeted > 0);
+        assert!(incremental.tables_rebuilt_full < full.tables_rebuilt_full);
+        incremental.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn blackouts_trigger_the_bulk_rebuild_fallback_with_identical_results() {
+        // A blackout flips every broker's routes towards (almost) every
+        // destination at once — the mass-transition case the incremental
+        // path hands to the bulk table builder instead of patching entry by
+        // entry (`O(n²)` in removals at scale). Results must stay
+        // bit-identical to the full-rebuild oracle.
+        let run = |policy: RebuildPolicy| {
+            let blackout = DynamicScenario::named("blackout").with_blackout(BlackoutWindow {
+                start_frac: 0.3,
+                duration_frac: 0.2,
+            });
+            let topo = small_topology(27);
+            let mut w = WorkloadConfig::paper_ssd(10.0);
+            w.duration = Duration::from_secs(300);
+            Simulation::with_scenario(
+                topo,
+                w,
+                SchedulerConfig::paper(StrategyKind::MaxEb),
+                SimRng::seed_from(27),
+                EstimationError::NONE,
+                blackout,
+            )
+            .with_rebuild_policy(policy)
+            .run()
+        };
+        let full = run(RebuildPolicy::Full);
+        let incremental = run(RebuildPolicy::Incremental);
+        assert_eq!(full.published, incremental.published);
+        assert_eq!(full.transmissions, incremental.transmissions);
+        assert_eq!(
+            full.tracker.total_on_time(),
+            incremental.tracker.total_on_time()
+        );
+        assert_eq!(full.queued_at_end, incremental.queued_at_end);
+        assert!(
+            incremental.tables_rebuilt_full > 0,
+            "an every-link outage must route through the bulk fallback"
+        );
+        incremental.check_conservation().unwrap();
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod sched;
 pub mod workload;
 
 pub use builder::SimulationBuilder;
-pub use engine::{PhaseOutcome, Simulation, SimulationOutcome};
+pub use engine::{PhaseOutcome, RebuildPolicy, Simulation, SimulationOutcome};
 pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
 pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
@@ -50,7 +50,7 @@ pub use workload::{
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::builder::SimulationBuilder;
-    pub use crate::engine::{PhaseOutcome, Simulation, SimulationOutcome};
+    pub use crate::engine::{PhaseOutcome, RebuildPolicy, Simulation, SimulationOutcome};
     pub use crate::report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
     pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
     pub use crate::scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};

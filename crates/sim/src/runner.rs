@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
 use crate::builder::SimulationBuilder;
+use crate::engine::RebuildPolicy;
 use crate::report::SimulationReport;
 use crate::scenario::DynamicScenario;
 use crate::sched::EventQueueKind;
@@ -71,6 +72,10 @@ pub struct SimulationConfig {
     /// Which event-scheduler implementation drives the run (calendar queue
     /// by default; both pop in identical order, see [`crate::sched`]).
     pub event_queue: EventQueueKind,
+    /// How routing and subscription tables are rebuilt after link events
+    /// (incremental by default; both policies yield bit-identical results,
+    /// see [`RebuildPolicy`]).
+    pub rebuild_policy: RebuildPolicy,
 }
 
 impl SimulationConfig {

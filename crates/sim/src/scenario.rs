@@ -388,6 +388,7 @@ impl ScenarioRegistry {
     /// | `churn` | subscription joins and leaves, one of each per minute |
     /// | `flash-crowd` | MMPP publisher bursts at 4× the base rate |
     /// | `link-flap` | random link failures, ~30 s downtime each |
+    /// | `link-storm` | a failure every ~2 s, overlapping ~5 s outages |
     /// | `blackout` | every link down for the middle 15% of the run |
     /// | `chaos` | churn + flash-crowd + link-flap combined |
     pub fn builtin() -> Self {
@@ -401,6 +402,9 @@ impl ScenarioRegistry {
         });
         r.register_with_aliases("link-flap", &["link-failures"], || {
             DynamicScenario::named("link-flap").with_link_failures(LinkFailureConfig::flaky())
+        });
+        r.register_with_aliases("link-storm", &["flap-storm", "storm"], || {
+            DynamicScenario::named("link-storm").with_link_failures(LinkFailureConfig::storm())
         });
         r.register("blackout", || {
             DynamicScenario::named("blackout").with_blackout(BlackoutWindow {

@@ -347,6 +347,17 @@ impl LinkFailureConfig {
         }
     }
 
+    /// A link-flap storm: a failure every two seconds, ~five seconds down,
+    /// so outages overlap and routing is in near-constant flux. The
+    /// scenario that makes the rebuild path the bottleneck — the `scale`
+    /// bench uses it to compare the rebuild policies at 10⁵ subscribers.
+    pub fn storm() -> Self {
+        LinkFailureConfig {
+            mean_time_between_failures_secs: 2.0,
+            mean_downtime_secs: 5.0,
+        }
+    }
+
     /// Samples `(failure_start, recovery)` windows over `[0, horizon)`.
     /// Windows may overlap — concurrent failures of different links.
     pub fn sample_windows(&self, horizon: Duration, rng: &mut SimRng) -> Vec<(Duration, Duration)> {

@@ -167,6 +167,96 @@ fn golden_runs_are_stable_within_a_process() {
     assert_eq!(a, b);
 }
 
+/// Frozen seed-42 behaviour of the `link-flap` dynamic scenario, pinned for
+/// a link-model strategy and a baseline. Like the static table above, these
+/// numbers came from the simulator itself; regenerate them in the same
+/// commit as any intended seed-behaviour change.
+#[derive(Debug, PartialEq, Eq)]
+struct LinkFlapGolden {
+    golden: Golden,
+    requeued: u64,
+}
+
+fn link_flap_golden_table() -> Vec<(StrategyKind, LinkFlapGolden)> {
+    vec![
+        (
+            StrategyKind::MaxEb,
+            LinkFlapGolden {
+                golden: Golden {
+                    published: 217,
+                    interested: 400,
+                    on_time: 346,
+                    late: 28,
+                    earning_milli: 670000,
+                    message_number: 593,
+                    transmissions: 377,
+                    dropped_expired: 22,
+                    dropped_unlikely: 2,
+                },
+                requeued: 1,
+            },
+        ),
+        (
+            StrategyKind::Fifo,
+            LinkFlapGolden {
+                golden: Golden {
+                    published: 214,
+                    interested: 353,
+                    on_time: 298,
+                    late: 32,
+                    earning_milli: 574000,
+                    message_number: 574,
+                    transmissions: 361,
+                    dropped_expired: 20,
+                    dropped_unlikely: 0,
+                },
+                requeued: 1,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn seed_42_link_flap_metrics_are_pinned_under_both_rebuild_policies_and_schedulers() {
+    // A link-failure scenario drives the routing/table rebuild machinery;
+    // the pinned metrics must be reproduced by every rebuild policy × event
+    // scheduler combination — the full rebuild is the oracle the
+    // incremental path must match bit-for-bit, and neither scheduler may
+    // reorder the same-instant link batches it coalesces over.
+    use bdps::sim::sched::EventQueueKind;
+    use bdps::sim::RebuildPolicy;
+    for (strategy, expected) in link_flap_golden_table() {
+        for policy in RebuildPolicy::ALL {
+            for queue in EventQueueKind::ALL {
+                let report = Simulation::builder()
+                    .layered_mesh(LayeredMeshConfig::small())
+                    .ssd(20.0)
+                    .duration(Duration::from_secs(300))
+                    .strategy(strategy)
+                    .scenario_named("link-flap")
+                    .expect("link-flap is a builtin scenario")
+                    .rebuild_policy(policy)
+                    .event_queue(queue)
+                    .seed(42)
+                    .report();
+                assert_eq!(report.dynamics, "link-flap");
+                let observed = LinkFlapGolden {
+                    golden: observed(&report),
+                    requeued: report.requeued,
+                };
+                assert_eq!(
+                    observed,
+                    expected,
+                    "{} under {} rebuild / {} scheduler drifted from the link-flap goldens",
+                    strategy.label(),
+                    policy.name(),
+                    queue.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn seed_42_reports_are_bit_identical_under_both_event_schedulers() {
     // The calendar queue and the binary heap must pop in exactly the same
