@@ -12,7 +12,8 @@
 //! Usage: `cargo run --release -p bdps-bench --bin scale -- [--quick]
 //! [--populations 160,992,10000] [--queues heap,calendar]
 //! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
-//! [--rebuild-policy full|incremental] [--out BENCH_scale.json]
+//! [--rebuild-policy full|incremental] [--table-layout dense,sparse]
+//! [--out BENCH_scale.json]
 //! [--check bench/baseline.json] [--max-regression 0.25]`.
 //!
 //! With `--check <baseline>`, every cell present in the baseline is compared
@@ -24,12 +25,13 @@ use bdps_bench::{ArgParser, ExperimentOptions, COMMON_FLAGS_HELP};
 use bdps_overlay::topology::LayeredMeshConfig;
 use bdps_sim::prelude::*;
 use bdps_sim::sched::EventQueueKind;
-use bdps_sim::RebuildPolicy;
+use bdps_sim::{RebuildPolicy, TableLayout};
 use bdps_types::time::Duration;
 use std::time::Instant;
 
 const SCALE_FLAGS_HELP: &str = "--quick | --populations <n,n,..> | --queues <heap,calendar> \
-     | --rebuild-policy <full|incremental> | --passes <n> | --out <path> \
+     | --rebuild-policy <full|incremental> | --table-layout <dense,sparse> \
+     | --passes <n> | --out <path> \
      | --check <baseline.json> | --max-regression <frac>";
 
 /// Default populations of the full sweep (paper mesh: multiples of the 16
@@ -44,6 +46,7 @@ struct ScaleOptions {
     populations: Vec<usize>,
     queues: Vec<EventQueueKind>,
     rebuild_policy: RebuildPolicy,
+    layouts: Vec<TableLayout>,
     out: String,
     check: Option<String>,
     max_regression: f64,
@@ -60,6 +63,7 @@ impl ScaleOptions {
             populations: Vec::new(),
             queues: EventQueueKind::ALL.to_vec(),
             rebuild_policy: RebuildPolicy::default(),
+            layouts: TableLayout::ALL.to_vec(),
             out: "BENCH_scale.json".to_string(),
             check: None,
             max_regression: 0.25,
@@ -102,6 +106,17 @@ impl ScaleOptions {
                         opts.rebuild_policy = RebuildPolicy::from_name(&name).ok_or_else(|| {
                             format!("unknown rebuild policy {name:?}; known: full, incremental")
                         })?;
+                    }
+                    "--table-layout" => {
+                        opts.layouts = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|name| {
+                                TableLayout::from_name(name).ok_or_else(|| {
+                                    format!("unknown table layout {name:?}; known: dense, sparse")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
                     }
                     "--passes" => {
                         opts.passes = parser.parse_value(&flag)?;
@@ -157,6 +172,7 @@ struct Cell {
     queue: EventQueueKind,
     strategy: String,
     rebuild_policy: RebuildPolicy,
+    table_layout: TableLayout,
     duration_secs: u64,
     build_secs: f64,
     wall_secs: f64,
@@ -169,33 +185,40 @@ struct Cell {
     scope_intern_hits: u64,
     tables_rebuilt_full: u64,
     entries_retargeted: u64,
+    aggregate_entries: u64,
+    expanded_at_edge: u64,
+    table_bytes_estimate: u64,
 }
 
 impl Cell {
     fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}",
             self.population,
             self.scenario,
             self.queue,
-            self.rebuild_policy.name()
+            self.rebuild_policy.name(),
+            self.table_layout.name()
         )
     }
 
     fn to_json_line(&self) -> String {
         format!(
             "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
-             \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"duration_secs\": {}, \
-             \"build_secs\": {:.3}, \
+             \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"table_layout\": \"{}\", \
+             \"duration_secs\": {}, \"build_secs\": {:.3}, \
              \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
              \"scope_interns\": {}, \"scope_intern_hits\": {}, \
-             \"tables_rebuilt_full\": {}, \"entries_retargeted\": {}}}",
+             \"tables_rebuilt_full\": {}, \"entries_retargeted\": {}, \
+             \"aggregate_entries\": {}, \"expanded_at_edge\": {}, \
+             \"table_bytes_estimate\": {}}}",
             self.population,
             self.scenario,
             self.queue,
             self.strategy,
             self.rebuild_policy.name(),
+            self.table_layout.name(),
             self.duration_secs,
             self.build_secs,
             self.wall_secs,
@@ -208,6 +231,9 @@ impl Cell {
             self.scope_intern_hits,
             self.tables_rebuilt_full,
             self.entries_retargeted,
+            self.aggregate_entries,
+            self.expanded_at_edge,
+            self.table_bytes_estimate,
         )
     }
 }
@@ -244,6 +270,7 @@ fn run_cell(
     population: usize,
     scenario: &DynamicScenario,
     queue: EventQueueKind,
+    layout: TableLayout,
     strategy: &bdps_core::strategy::StrategyHandle,
 ) -> Cell {
     let (mesh, actual_population) = mesh_for(population);
@@ -256,6 +283,7 @@ fn run_cell(
         .scenario(scenario.clone())
         .event_queue(queue)
         .rebuild_policy(opts.rebuild_policy)
+        .table_layout(layout)
         .seed(opts.common.seed);
     let mut best: Option<Cell> = None;
     for _ in 0..opts.passes {
@@ -271,6 +299,7 @@ fn run_cell(
             queue,
             strategy: strategy.label().to_string(),
             rebuild_policy: opts.rebuild_policy,
+            table_layout: layout,
             duration_secs,
             build_secs,
             wall_secs,
@@ -283,6 +312,9 @@ fn run_cell(
             scope_intern_hits: outcome.scope_intern_hits,
             tables_rebuilt_full: outcome.tables_rebuilt_full,
             entries_retargeted: outcome.entries_retargeted,
+            aggregate_entries: outcome.aggregate_entries,
+            expanded_at_edge: outcome.expanded_at_edge(),
+            table_bytes_estimate: outcome.table_bytes_estimate,
         };
         if best.as_ref().is_none_or(|b| cell.wall_secs < b.wall_secs) {
             best = Some(cell);
@@ -320,12 +352,12 @@ fn extract(line: &str, key: &str) -> Option<String> {
     }
 }
 
-/// `(population/scenario/queue/policy, events_per_sec)` pairs from a
-/// baseline file. The rebuild policy is part of the key so a full-policy
-/// run is never gated against incremental baselines (a 40× gap on link
-/// scenarios would read as a regression); baselines from before the policy
-/// existed default to the old always-full behaviour's successor,
-/// "incremental".
+/// `(population/scenario/queue/policy/layout, events_per_sec)` pairs from a
+/// baseline file. The rebuild policy and table layout are part of the key
+/// so a full-policy or sparse-layout run is never gated against baselines
+/// measured under the other mode (their events/sec are not comparable);
+/// baselines from before an axis existed default to its historical value
+/// ("incremental" / "dense").
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter(|line| line.contains("\"population\""))
@@ -335,8 +367,12 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             let queue = extract(line, "queue")?;
             let policy =
                 extract(line, "rebuild_policy").unwrap_or_else(|| "incremental".to_string());
+            let layout = extract(line, "table_layout").unwrap_or_else(|| "dense".to_string());
             let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
-            Some((format!("{population}/{scenario}/{queue}/{policy}"), eps))
+            Some((
+                format!("{population}/{scenario}/{queue}/{policy}/{layout}"),
+                eps,
+            ))
         })
         .collect()
 }
@@ -412,10 +448,11 @@ fn main() {
     let opts = ScaleOptions::from_args();
     println!(
         "# Scale — engine throughput vs subscriber population\n\n\
-         populations: {:?}, queues: {:?}, rebuild policy: {}, seed: {}\n",
+         populations: {:?}, queues: {:?}, rebuild policy: {}, layouts: {:?}, seed: {}\n",
         opts.populations,
         opts.queues.iter().map(|q| q.name()).collect::<Vec<_>>(),
         opts.rebuild_policy.name(),
+        opts.layouts.iter().map(|l| l.name()).collect::<Vec<_>>(),
         opts.common.seed
     );
 
@@ -462,47 +499,58 @@ fn main() {
                 );
             }
             for &queue in &opts.queues {
-                let cell = run_cell(&opts, population, scenario, queue, strategy);
-                println!(
-                    "- {:>7} subs · {:<11} · {:<8}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds)",
-                    cell.population,
-                    cell.scenario,
-                    cell.queue.name(),
-                    cell.events_per_sec,
-                    cell.events,
-                    cell.wall_secs,
-                    cell.peak_pending_events,
-                    100.0 * cell.scope_intern_hits as f64 / cell.scope_interns.max(1) as f64,
-                    cell.entries_retargeted,
-                    cell.tables_rebuilt_full,
-                );
-                cells.push(cell);
+                for &layout in &opts.layouts {
+                    let cell = run_cell(&opts, population, scenario, queue, layout, strategy);
+                    println!(
+                        "- {:>7} subs · {:<11} · {:<8} · {:<6}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
+                        cell.population,
+                        cell.scenario,
+                        cell.queue.name(),
+                        cell.table_layout.name(),
+                        cell.events_per_sec,
+                        cell.events,
+                        cell.wall_secs,
+                        cell.peak_pending_events,
+                        100.0 * cell.scope_intern_hits as f64 / cell.scope_interns.max(1) as f64,
+                        cell.entries_retargeted,
+                        cell.tables_rebuilt_full,
+                        cell.aggregate_entries,
+                        cell.table_bytes_estimate as f64 / 1e6,
+                    );
+                    cells.push(cell);
+                }
             }
         }
     }
 
-    // Headline: calendar-vs-heap speedup per (population, scenario).
+    // Headline: calendar-vs-heap speedup per (population, scenario, layout).
     println!("\n## events/sec by population (speedup = calendar / heap)\n");
     let mut rows = Vec::new();
     for &population in &opts.populations {
         let (_, actual) = mesh_for(population);
         for scenario in &scenarios {
-            let find = |queue: EventQueueKind| {
-                cells.iter().find(|c| {
-                    c.population == actual && c.scenario == scenario.name && c.queue == queue
-                })
-            };
-            if let (Some(heap), Some(calendar)) = (
-                find(EventQueueKind::BinaryHeap),
-                find(EventQueueKind::Calendar),
-            ) {
-                rows.push(vec![
-                    format!("{actual}"),
-                    scenario.name.clone(),
-                    format!("{:.0}", heap.events_per_sec),
-                    format!("{:.0}", calendar.events_per_sec),
-                    format!("{:.2}x", calendar.events_per_sec / heap.events_per_sec),
-                ]);
+            for &layout in &opts.layouts {
+                let find = |queue: EventQueueKind| {
+                    cells.iter().find(|c| {
+                        c.population == actual
+                            && c.scenario == scenario.name
+                            && c.queue == queue
+                            && c.table_layout == layout
+                    })
+                };
+                if let (Some(heap), Some(calendar)) = (
+                    find(EventQueueKind::BinaryHeap),
+                    find(EventQueueKind::Calendar),
+                ) {
+                    rows.push(vec![
+                        format!("{actual}"),
+                        scenario.name.clone(),
+                        layout.name().to_string(),
+                        format!("{:.0}", heap.events_per_sec),
+                        format!("{:.0}", calendar.events_per_sec),
+                        format!("{:.2}x", calendar.events_per_sec / heap.events_per_sec),
+                    ]);
+                }
             }
         }
     }
@@ -513,6 +561,7 @@ fn main() {
                 &[
                     "population",
                     "scenario",
+                    "layout",
                     "heap ev/s",
                     "calendar ev/s",
                     "speedup"
@@ -520,6 +569,61 @@ fn main() {
                 &rows
             )
         );
+    }
+
+    // The memory headline: dense-vs-sparse table bytes per (population,
+    // scenario) — the axis the sparse layout exists for.
+    if opts.layouts.contains(&TableLayout::Dense) && opts.layouts.contains(&TableLayout::Sparse) {
+        println!("\n## table memory by layout (dense / sparse)\n");
+        // Memory does not depend on the event scheduler; report one queue's
+        // cells — whichever the run actually used.
+        let memory_queue = opts.queues[0];
+        let mut rows = Vec::new();
+        for &population in &opts.populations {
+            let (_, actual) = mesh_for(population);
+            for scenario in &scenarios {
+                let find = |layout: TableLayout| {
+                    cells.iter().find(|c| {
+                        c.population == actual
+                            && c.scenario == scenario.name
+                            && c.queue == memory_queue
+                            && c.table_layout == layout
+                    })
+                };
+                if let (Some(dense), Some(sparse)) =
+                    (find(TableLayout::Dense), find(TableLayout::Sparse))
+                {
+                    rows.push(vec![
+                        format!("{actual}"),
+                        scenario.name.clone(),
+                        format!("{:.1} MB", dense.table_bytes_estimate as f64 / 1e6),
+                        format!("{:.1} MB", sparse.table_bytes_estimate as f64 / 1e6),
+                        format!(
+                            "{:.0}x",
+                            dense.table_bytes_estimate as f64
+                                / sparse.table_bytes_estimate.max(1) as f64
+                        ),
+                        format!("{}", sparse.aggregate_entries),
+                    ]);
+                }
+            }
+        }
+        if !rows.is_empty() {
+            println!(
+                "{}",
+                render_markdown_table(
+                    &[
+                        "population",
+                        "scenario",
+                        "dense tables",
+                        "sparse tables",
+                        "shrink",
+                        "aggregates"
+                    ],
+                    &rows
+                )
+            );
+        }
     }
 
     match write_json(&opts, &cells) {

@@ -15,8 +15,11 @@
 use crate::config::SchedulerConfig;
 use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMessage};
 use bdps_filter::scope::ScopeSet;
+use bdps_filter::subscription::Subscription;
 use bdps_overlay::graph::OverlayGraph;
-use bdps_overlay::subtable::{SubTableEntry, SubscriptionTable};
+use bdps_overlay::routing::Routing;
+use bdps_overlay::sparse::{BrokerTable, ResolvedEntry, TableLayout};
+use bdps_overlay::subtable::{RetargetOutcome, SubTableEntry};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
 use bdps_types::message::Message;
 use bdps_types::money::Price;
@@ -82,6 +85,11 @@ pub struct BrokerCounters {
     pub delivered_on_time: u64,
     /// Local deliveries that missed their deadline.
     pub delivered_late: u64,
+    /// Local deliveries resolved by expanding a covering aggregate at this
+    /// edge broker — non-zero only under [`TableLayout::Sparse`], where
+    /// interior brokers route on aggregates and only edge brokers expand to
+    /// concrete subscribers.
+    pub expanded_at_edge: u64,
 }
 
 impl BrokerCounters {
@@ -98,17 +106,19 @@ pub struct BrokerState {
     pub id: BrokerId,
     /// The broker's counters.
     pub counters: BrokerCounters,
-    table: SubscriptionTable,
+    table: BrokerTable,
     queues: HashMap<BrokerId, OutputQueue>,
     config: SchedulerConfig,
 }
 
 impl BrokerState {
     /// Creates a broker with explicit outgoing links
-    /// (`(neighbour, link, mean ms/KB rate)`).
+    /// (`(neighbour, link, mean ms/KB rate)`). The table may use either
+    /// layout ([`SubscriptionTable`](bdps_overlay::subtable::SubscriptionTable)
+    /// and [`SparseTable`](bdps_overlay::sparse::SparseTable) both convert).
     pub fn new(
         id: BrokerId,
-        table: SubscriptionTable,
+        table: impl Into<BrokerTable>,
         outgoing: impl IntoIterator<Item = (BrokerId, LinkId, f64)>,
         config: SchedulerConfig,
     ) -> Self {
@@ -119,7 +129,7 @@ impl BrokerState {
         BrokerState {
             id,
             counters: BrokerCounters::default(),
-            table,
+            table: table.into(),
             queues,
             config,
         }
@@ -130,7 +140,7 @@ impl BrokerState {
     pub fn from_overlay(
         graph: &OverlayGraph,
         id: BrokerId,
-        table: SubscriptionTable,
+        table: impl Into<BrokerTable>,
         config: SchedulerConfig,
     ) -> Self {
         let outgoing: Vec<(BrokerId, LinkId, f64)> = graph
@@ -145,8 +155,8 @@ impl BrokerState {
         &self.config
     }
 
-    /// The broker's subscription table.
-    pub fn table(&self) -> &SubscriptionTable {
+    /// The broker's subscription table (either layout).
+    pub fn table(&self) -> &BrokerTable {
         &self.table
     }
 
@@ -201,31 +211,35 @@ impl BrokerState {
     ) -> ArrivalOutcome {
         self.counters.received += 1;
         let mut outcome = ArrivalOutcome::default();
-        let mut local: Vec<&SubTableEntry> = Vec::new();
+        let mut local: Vec<ResolvedEntry> = Vec::new();
         // BTreeMap keeps the neighbour groups in ascending broker order, so
-        // forwarding work is deterministic without a post-hoc sort.
-        let mut remote: BTreeMap<BrokerId, Vec<&SubTableEntry>> = BTreeMap::new();
+        // forwarding work is deterministic without a post-hoc sort. The rows
+        // are layout-agnostic [`ResolvedEntry`]s: dense tables copy their
+        // materialised entries, sparse tables assemble them from the local
+        // table, the shared registry and the per-destination aggregate — in
+        // the same order, with the same routed fields, so both layouts feed
+        // the scheduling pipeline identical inputs.
+        let mut remote: BTreeMap<BrokerId, Vec<ResolvedEntry>> = BTreeMap::new();
+        let mut push = |e: ResolvedEntry| match e.next_hop {
+            None => local.push(e),
+            Some(nb) => remote.entry(nb).or_default().push(e),
+        };
         match scope {
-            Some(scope) => {
-                for id in scope.iter() {
-                    if let Some(entry) = self.table.entry(id) {
-                        match entry.next_hop {
-                            None => local.push(entry),
-                            Some(nb) => remote.entry(nb).or_default().push(entry),
-                        }
-                    }
+            Some(scope) => self.table.resolve_scope(scope, &mut push),
+            None => {
+                for e in self.table.matching_all(&message.head) {
+                    push(e);
                 }
             }
-            None => {
-                let (all_local, all_remote) = self.table.matching_by_next_hop(&message.head);
-                local = all_local;
-                remote.extend(all_remote);
-            }
+        }
+        if self.table.layout() == TableLayout::Sparse {
+            // Under the sparse layout a local delivery is an aggregate
+            // expansion at the edge broker.
+            self.counters.expanded_at_edge += local.len() as u64;
         }
 
         for entry in local {
-            let allowed_delay =
-                effective_allowed_delay(&message, entry.subscription.allowed_delay());
+            let allowed_delay = effective_allowed_delay(&message, entry.allowed_delay);
             let delay = message.elapsed(now);
             let on_time = delay <= allowed_delay;
             if on_time {
@@ -234,9 +248,9 @@ impl BrokerState {
                 self.counters.delivered_late += 1;
             }
             outcome.local.push(LocalDelivery {
-                subscription: entry.subscription.id,
-                subscriber: entry.subscription.subscriber,
-                price: entry.subscription.price,
+                subscription: entry.subscription,
+                subscriber: entry.subscriber,
+                price: entry.price,
                 delay,
                 allowed_delay,
                 on_time,
@@ -252,13 +266,10 @@ impl BrokerState {
             let targets: Vec<MatchedTarget> = entries
                 .iter()
                 .map(|e| MatchedTarget {
-                    subscription: e.subscription.id,
-                    subscriber: e.subscription.subscriber,
-                    price: e.subscription.price,
-                    allowed_delay: effective_allowed_delay(
-                        &message,
-                        e.subscription.allowed_delay(),
-                    ),
+                    subscription: e.subscription,
+                    subscriber: e.subscriber,
+                    price: e.price,
+                    allowed_delay: effective_allowed_delay(&message, e.allowed_delay),
                     stats: e.stats,
                 })
                 .collect();
@@ -297,35 +308,102 @@ impl BrokerState {
     /// Replaces the broker's subscription table in place, keeping queues and
     /// counters. The simulator calls this after recomputing routes when a
     /// link fails or recovers mid-run.
-    pub fn set_table(&mut self, table: SubscriptionTable) {
+    pub fn set_table(&mut self, table: impl Into<BrokerTable>) {
+        let table = table.into();
         debug_assert_eq!(table.broker(), self.id, "table belongs to another broker");
         self.table = table;
     }
 
-    /// Adds (or replaces) one subscription-table entry mid-run — the
-    /// incremental half of subscription churn. Messages already queued are
-    /// unaffected; messages processed from now on match the new entry.
+    /// Adds (or replaces) one dense subscription-table entry mid-run — the
+    /// incremental half of subscription churn under the dense layout.
+    /// Messages already queued are unaffected; messages processed from now
+    /// on match the new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the sparse layout (use
+    /// [`insert_local_subscription`](Self::insert_local_subscription) and
+    /// [`sync_aggregate`](Self::sync_aggregate) there).
     pub fn insert_subscription(&mut self, entry: SubTableEntry) {
-        self.table.insert(entry);
+        self.table
+            .as_dense_mut()
+            .expect("insert_subscription requires the dense layout")
+            .insert(entry);
     }
 
-    /// Patches the table entries towards one edge broker after a routing
-    /// change (see [`SubscriptionTable::retarget_entries`]) — the
+    /// Adds a locally attached subscription's full entry — the edge-broker
+    /// half of a join under the sparse layout (interior brokers only sync
+    /// their aggregate for the edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the dense layout.
+    pub fn insert_local_subscription(&mut self, subscription: Subscription) {
+        self.table
+            .as_sparse_mut()
+            .expect("insert_local_subscription requires the sparse layout")
+            .insert_local(subscription);
+    }
+
+    /// Patches the dense table entries towards one edge broker after a
+    /// routing change (see
+    /// [`SubscriptionTable::retarget_entries`](bdps_overlay::subtable::SubscriptionTable::retarget_entries))
+    /// — the
     /// incremental alternative to [`set_table`](Self::set_table). Queues and
     /// counters are untouched, exactly like a full table swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the sparse layout (whose analogue is
+    /// [`sync_aggregate`](Self::sync_aggregate)).
     pub fn retarget_entries<'a>(
         &mut self,
-        routing: &bdps_overlay::routing::Routing,
+        routing: &Routing,
         dest: BrokerId,
-        attached: impl IntoIterator<Item = &'a bdps_filter::subscription::Subscription>,
-    ) -> bdps_overlay::subtable::RetargetOutcome {
-        self.table.retarget_entries(routing, dest, attached)
+        attached: impl IntoIterator<Item = &'a Subscription>,
+    ) -> RetargetOutcome {
+        self.table
+            .as_dense_mut()
+            .expect("retarget_entries requires the dense layout")
+            .retarget_entries(routing, dest, attached)
     }
 
-    /// Removes a subscription mid-run: drops its table entry and strips it
-    /// from every queued copy's target set. Copies left with no target are
-    /// discarded and counted under `dropped_unsubscribed`; the number of such
-    /// orphaned copies is returned.
+    /// Brings the sparse aggregate towards `dest` in line with the current
+    /// routing and shared registry (see
+    /// [`SparseTable::sync_aggregate`](bdps_overlay::sparse::SparseTable::sync_aggregate))
+    /// — the sparse analogue of [`retarget_entries`](Self::retarget_entries),
+    /// patching one aggregate where the dense path patches one entry per
+    /// subscription.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the dense layout.
+    pub fn sync_aggregate(&mut self, routing: &Routing, dest: BrokerId) -> RetargetOutcome {
+        self.table
+            .as_sparse_mut()
+            .expect("sync_aggregate requires the sparse layout")
+            .sync_aggregate(routing, dest)
+    }
+
+    /// Rebuilds every sparse aggregate from scratch over the current routing
+    /// — the sparse analogue of a full table rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the dense layout.
+    pub fn rebuild_aggregates(&mut self, routing: &Routing) {
+        self.table
+            .as_sparse_mut()
+            .expect("rebuild_aggregates requires the sparse layout")
+            .rebuild_aggregates(routing);
+    }
+
+    /// Removes a subscription mid-run: drops its materialised table row
+    /// (dense entry, or sparse local entry) and strips it from every queued
+    /// copy's target set. Copies left with no target are discarded and
+    /// counted under `dropped_unsubscribed`; the number of such orphaned
+    /// copies is returned. Sparse aggregates are synced separately (they
+    /// need routing).
     pub fn remove_subscription(&mut self, id: SubscriptionId) -> u64 {
         self.table.remove(id);
         let orphaned: u64 = self
@@ -385,7 +463,7 @@ mod tests {
     use bdps_filter::subscription::Subscription;
     use bdps_net::bandwidth::FixedRate;
     use bdps_net::link::LinkQuality;
-    use bdps_overlay::routing::Routing;
+    use bdps_overlay::subtable::SubscriptionTable;
     use bdps_overlay::topology::Topology;
     use bdps_stats::rng::SimRng;
     use bdps_types::id::{MessageId, PublisherId};
@@ -693,6 +771,75 @@ mod tests {
         let b1 = broker(&s, 1, StrategyKind::Fifo);
         assert_eq!(b1.neighbors(), vec![BrokerId::new(0), BrokerId::new(2)]);
         assert_eq!(b1.config().strategy, StrategyKind::Fifo);
-        assert_eq!(b1.table().len(), 3);
+        assert_eq!(b1.table().stored_rows(), 3);
+        assert_eq!(
+            b1.table().layout(),
+            bdps_overlay::sparse::TableLayout::Dense
+        );
+    }
+
+    /// A sparse broker processes the same arrivals into the same deliveries
+    /// and queue contents as its dense twin — the broker-level seed of the
+    /// engine-wide layout differential oracle.
+    #[test]
+    fn sparse_broker_matches_dense_broker_on_arrivals() {
+        use bdps_overlay::sparse::{SharedPopulation, SparseTable};
+        use std::sync::{Arc, RwLock};
+        let s = setup();
+        let make_dense = |id: u32| broker(&s, id, StrategyKind::MaxEb);
+        let pop = Arc::new(RwLock::new(SharedPopulation::from_population(&s.subs)));
+        let make_sparse = |id: u32| {
+            let id = BrokerId::new(id);
+            BrokerState::from_overlay(
+                &s.topo.graph,
+                id,
+                SparseTable::build(id, &s.routing, &pop),
+                SchedulerConfig::paper(StrategyKind::MaxEb),
+            )
+        };
+        for id in 0..3u32 {
+            let mut dense = make_dense(id);
+            let mut sparse = make_sparse(id);
+            for (i, (scoped, a1)) in [(false, 1.0), (true, 1.0), (true, 7.0)].iter().enumerate() {
+                let m = msg(i as u64, *a1, *a1, 0);
+                let scope = ScopeSet::from_unsorted(
+                    s.subs
+                        .iter()
+                        .filter(|(sub, _)| sub.filter.matches(&m.head))
+                        .map(|(sub, _)| sub.id)
+                        .collect::<Vec<_>>(),
+                );
+                let now = SimTime::from_millis(2 + i as u64);
+                let (a, b) = if *scoped {
+                    (
+                        dense.handle_arrival_scoped(Arc::clone(&m), now, Some(&scope)),
+                        sparse.handle_arrival_scoped(m, now, Some(&scope)),
+                    )
+                } else {
+                    (
+                        dense.handle_arrival(Arc::clone(&m), now),
+                        sparse.handle_arrival(m, now),
+                    )
+                };
+                assert_eq!(a.local, b.local, "broker {id} arrival {i}");
+                assert_eq!(a.enqueued_to, b.enqueued_to, "broker {id} arrival {i}");
+            }
+            assert_eq!(dense.queued_total(), sparse.queued_total(), "broker {id}");
+            for nb in dense.neighbors() {
+                let dq = dense.queue(nb).unwrap();
+                let sq = sparse.queue(nb).unwrap();
+                assert_eq!(dq.items().len(), sq.items().len());
+                for (di, si) in dq.items().iter().zip(sq.items().iter()) {
+                    assert_eq!(di.targets, si.targets, "broker {id} queue to {nb}");
+                }
+            }
+            // Edge expansions are counted only on the sparse side, and only
+            // for locally delivered copies.
+            assert_eq!(
+                sparse.counters.expanded_at_edge,
+                sparse.counters.delivered_on_time + sparse.counters.delivered_late
+            );
+            assert_eq!(dense.counters.expanded_at_edge, 0);
+        }
     }
 }

@@ -101,6 +101,40 @@ impl Filter {
         Filter::new(preds)
     }
 
+    /// Returns true when the two filters cover each other — equivalent under
+    /// the conservative covering relation (they match the same messages).
+    pub fn equivalent(&self, other: &Filter) -> bool {
+        self.covers(other) && other.covers(self)
+    }
+
+    /// The covering join of two filters: a filter that covers both operands
+    /// (a conservative least upper bound under [`covers`](Self::covers)).
+    ///
+    /// A filter `g` covers `f` when every predicate of `g` is implied by
+    /// some predicate of `f`; the join therefore keeps exactly the
+    /// predicates of either operand that the *other* operand implies, then
+    /// drops internal redundancies. Joining with [`match_all`](Self::match_all)
+    /// yields `match_all` — the top element of the covering order. Part of
+    /// the covering algebra next to [`covers`](Self::covers) and
+    /// [`CoverForest`](crate::cover::CoverForest), for callers that want a
+    /// single summary filter per group instead of the full covering set
+    /// (e.g. advertising one merged envelope upstream).
+    pub fn cover_join(&self, other: &Filter) -> Filter {
+        let implied_by = |preds: &[Predicate], p: &Predicate| preds.iter().any(|q| q.implies(p));
+        let mut kept: Vec<Predicate> = Vec::new();
+        for p in self.predicates.iter() {
+            if implied_by(other.predicates(), p) {
+                kept.push(p.clone());
+            }
+        }
+        for p in other.predicates.iter() {
+            if implied_by(self.predicates(), p) {
+                kept.push(p.clone());
+            }
+        }
+        Filter::new(kept).simplified()
+    }
+
     /// Returns a simplified filter with redundant predicates removed
     /// (a predicate implied by another predicate of the same filter is dropped).
     pub fn simplified(&self) -> Filter {

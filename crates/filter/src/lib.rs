@@ -8,6 +8,9 @@
 //! * [`filter`] — boolean filter expressions, their normalisation to
 //!   disjunctions of conjunctions, matching against message heads, and the
 //!   covering / overlap relations used when aggregating subscriptions;
+//! * [`cover`] — incremental covering-set maintenance ([`CoverForest`]):
+//!   the maximal filters under the covering relation, the aggregate interior
+//!   brokers route on when subscription tables use the sparse layout;
 //! * [`parser`] — a small recursive-descent parser for the textual filter
 //!   syntax (`"A1 < 5 && A2 < 2"`), so examples and tests can write filters
 //!   the way the paper writes them;
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cover;
 pub mod filter;
 pub mod index;
 pub mod parser;
@@ -33,6 +37,7 @@ pub mod scope;
 pub mod selectivity;
 pub mod subscription;
 
+pub use cover::CoverForest;
 pub use filter::{Filter, FilterExpr};
 pub use index::MatchIndex;
 pub use parser::parse_filter;
@@ -42,6 +47,7 @@ pub use subscription::Subscription;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use crate::cover::CoverForest;
     pub use crate::filter::{Filter, FilterExpr};
     pub use crate::index::MatchIndex;
     pub use crate::parser::parse_filter;

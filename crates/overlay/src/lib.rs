@@ -14,6 +14,11 @@
 //!   every broker a consistent next hop and path statistics per destination;
 //! * [`subtable`] — construction of each broker's subscription table
 //!   `{(subscriber, filter, dl, pr, nb, NN_p, μ_p, σ_p²)}`;
+//! * [`sparse`] — the sparse covering-aggregated table layout
+//!   ([`TableLayout`], [`SparseTable`], the shared [`SharedPopulation`]
+//!   registry and the layout-agnostic [`BrokerTable`]): per-broker state
+//!   sublinear in the global population, pinned bit-identical to the dense
+//!   oracle;
 //! * [`multipath`] — a link-disjoint multi-path extension used as a baseline
 //!   (the DCP-style "send over all paths" alternative the paper contrasts
 //!   with).
@@ -25,12 +30,17 @@ pub mod graph;
 pub mod multipath;
 pub mod pathstats;
 pub mod routing;
+pub mod sparse;
 pub mod subtable;
 pub mod topology;
 
 pub use graph::{BrokerNode, OverlayGraph};
 pub use pathstats::PathStats;
 pub use routing::{RouteDelta, RouteEntry, Routing};
+pub use sparse::{
+    AggregateEntry, BrokerTable, PopulationHandle, ResolvedEntry, SharedPopulation, SparseTable,
+    TableLayout,
+};
 pub use subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
 pub use topology::{LayeredMeshConfig, Topology};
 
@@ -39,6 +49,9 @@ pub mod prelude {
     pub use crate::graph::{BrokerNode, OverlayGraph};
     pub use crate::pathstats::PathStats;
     pub use crate::routing::{RouteDelta, RouteEntry, Routing};
+    pub use crate::sparse::{
+        BrokerTable, PopulationHandle, ResolvedEntry, SharedPopulation, SparseTable, TableLayout,
+    };
     pub use crate::subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
     pub use crate::topology::{LayeredMeshConfig, Topology};
 }

@@ -1,0 +1,960 @@
+//! Sparse covering-aggregated subscription tables.
+//!
+//! The dense layout ([`SubscriptionTable`]) replicates one entry per
+//! subscription on **every** broker — `O(brokers × subscriptions)` memory,
+//! ~12 GB at 10⁵ subscribers on the grown mesh. The paper's §4.2 tables only
+//! need, per broker, enough to pick the next hop and the remaining-path
+//! statistics for each matching message, and those routed fields depend on
+//! the *destination edge broker*, not on the individual subscription: every
+//! subscription attached at the same edge shares one `(next hop, link, path
+//! stats)` triple.
+//!
+//! The sparse layout exploits exactly that:
+//!
+//! * each broker keeps **full entries only for locally attached
+//!   subscribers** (the edge expansion set);
+//! * per remote destination it keeps one **aggregate entry** — the routed
+//!   fields towards that edge broker plus the size of the member group and
+//!   its covering set;
+//! * the subscription metadata itself (filter, subscriber, QoS) lives once,
+//!   globally, in a [`SharedPopulation`] registry every broker references
+//!   through an `Arc` — including one [`CoverForest`] per edge broker, the
+//!   covering set interior brokers route on for raw (unscoped) messages.
+//!
+//! Per-broker state therefore drops from `O(subscriptions)` to
+//! `O(local + brokers)`, and the registry is counted once instead of once
+//! per broker. Both layouts produce **bit-identical** simulation results —
+//! the dense layout survives as the differential oracle
+//! (`tests/layout_equivalence.rs`); the sparse resolution path reads the
+//! same routed fields the dense table materialises, because the engine
+//! keeps aggregates in lock-step with routing exactly where it used to keep
+//! dense entries.
+
+use crate::pathstats::PathStats;
+use crate::routing::Routing;
+use crate::subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
+use bdps_filter::cover::CoverForest;
+use bdps_filter::scope::ScopeSet;
+use bdps_filter::subscription::Subscription;
+use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
+use bdps_types::message::MessageHead;
+use bdps_types::money::Price;
+use bdps_types::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+
+/// How a broker materialises its subscription table.
+///
+/// Mirrors the simulator's `RebuildPolicy` axis: both layouts produce
+/// bit-identical simulation reports — the dense layout is the differential
+/// oracle the sparse layout is pinned against — so the choice trades memory
+/// and maintenance cost, never results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableLayout {
+    /// Every broker stores one full entry per subscription — the reference
+    /// implementation, kept as the oracle. `O(brokers × subscriptions)`
+    /// memory.
+    #[default]
+    Dense,
+    /// Brokers store full entries only for locally attached subscribers plus
+    /// one covering-aggregated entry per remote destination; subscription
+    /// metadata lives once in a shared registry. `O(population + brokers²)`
+    /// memory globally.
+    Sparse,
+}
+
+impl TableLayout {
+    /// Every selectable layout, oracle first.
+    pub const ALL: [TableLayout; 2] = [TableLayout::Dense, TableLayout::Sparse];
+
+    /// Stable CLI/report name (`"dense"` / `"sparse"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TableLayout::Dense => "dense",
+            TableLayout::Sparse => "sparse",
+        }
+    }
+
+    /// Resolves a CLI name (case-insensitive): `"dense"` (alias
+    /// `"replicated"`) or `"sparse"` (aliases `"aggregated"`, `"covering"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "dense" | "replicated" => Some(TableLayout::Dense),
+            "sparse" | "aggregated" | "covering" => Some(TableLayout::Sparse),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TableLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One subscription's global record in the shared registry.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// The subscription itself (filter, subscriber, QoS).
+    pub subscription: Subscription,
+    /// The edge broker it attaches to.
+    pub edge: BrokerId,
+}
+
+/// The subscriptions attached at one edge broker, with their covering set.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeGroup {
+    /// Member ids, ascending.
+    ids: Vec<SubscriptionId>,
+    /// The covering forest over the members' filters.
+    forest: CoverForest,
+}
+
+impl EdgeGroup {
+    /// Number of members attached at this edge.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns true when no member is attached.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Member ids, ascending.
+    pub fn ids(&self) -> &[SubscriptionId] {
+        &self.ids
+    }
+
+    /// The covering forest over the members' filters.
+    pub fn forest(&self) -> &CoverForest {
+        &self.forest
+    }
+}
+
+/// The population-wide registry the sparse layout shares across brokers:
+/// one record per subscription plus one [`EdgeGroup`] (member list +
+/// covering forest) per edge broker. Stored once globally — this is the
+/// memory the dense layout replicates `brokers` times.
+#[derive(Debug, Default)]
+pub struct SharedPopulation {
+    members: HashMap<SubscriptionId, MemberRecord>,
+    by_edge: BTreeMap<BrokerId, EdgeGroup>,
+}
+
+impl SharedPopulation {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SharedPopulation::default()
+    }
+
+    /// Builds the registry from a population (the engine's subscription
+    /// list; ids must be distinct).
+    pub fn from_population(subscriptions: &[(Subscription, BrokerId)]) -> Self {
+        let mut pop = SharedPopulation::new();
+        for (sub, edge) in subscriptions {
+            pop.insert(sub.clone(), *edge);
+        }
+        pop
+    }
+
+    /// Registers a subscription attached at `edge` (replacing any previous
+    /// record for the same id).
+    pub fn insert(&mut self, subscription: Subscription, edge: BrokerId) {
+        let id = subscription.id;
+        self.remove(id);
+        let group = self.by_edge.entry(edge).or_default();
+        let pos = group.ids.partition_point(|&i| i < id);
+        group.ids.insert(pos, id);
+        group.forest.insert(id, subscription.filter.clone());
+        self.members.insert(id, MemberRecord { subscription, edge });
+    }
+
+    /// Unregisters a subscription, returning its record when present.
+    pub fn remove(&mut self, id: SubscriptionId) -> Option<MemberRecord> {
+        let record = self.members.remove(&id)?;
+        if let Some(group) = self.by_edge.get_mut(&record.edge) {
+            if let Ok(pos) = group.ids.binary_search(&id) {
+                group.ids.remove(pos);
+            }
+            group.forest.remove(id);
+            if group.is_empty() {
+                self.by_edge.remove(&record.edge);
+            }
+        }
+        Some(record)
+    }
+
+    /// Total registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns true when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The record of one subscription.
+    pub fn member(&self, id: SubscriptionId) -> Option<&MemberRecord> {
+        self.members.get(&id)
+    }
+
+    /// The group attached at one edge broker (absent when empty).
+    pub fn group(&self, edge: BrokerId) -> Option<&EdgeGroup> {
+        self.by_edge.get(&edge)
+    }
+
+    /// Iterates `(edge broker, group)` in ascending broker order.
+    pub fn groups(&self) -> impl Iterator<Item = (BrokerId, &EdgeGroup)> + '_ {
+        self.by_edge.iter().map(|(b, g)| (*b, g))
+    }
+
+    /// Rough bytes consumed by the registry (counted **once** globally,
+    /// where the dense layout pays its per-entry cost on every broker).
+    pub fn bytes_estimate(&self) -> u64 {
+        let member_bytes =
+            (std::mem::size_of::<MemberRecord>() + HASH_SLOT_OVERHEAD) * self.members.len();
+        let group_bytes: usize = self
+            .by_edge
+            .values()
+            .map(|g| {
+                g.ids.len() * std::mem::size_of::<SubscriptionId>()
+                    + g.forest.len() * FOREST_NODE_OVERHEAD
+            })
+            .sum();
+        (member_bytes + group_bytes) as u64
+    }
+}
+
+/// A thread-safe handle to the shared registry. The engine holds the only
+/// writer; brokers read-lock once per arrival, so the lock is uncontended in
+/// the single-threaded event loop and cheap enough for sweep workers (each
+/// simulation owns its own registry).
+pub type PopulationHandle = Arc<RwLock<SharedPopulation>>;
+
+/// Approximate per-entry bookkeeping overhead of a hash-map slot.
+const HASH_SLOT_OVERHEAD: usize = 48;
+/// Approximate per-member overhead of a covering-forest node (filter handle,
+/// parent pointer, child-set slot).
+const FOREST_NODE_OVERHEAD: usize = 72;
+/// Approximate per-entry overhead of the dense table's id map + match-index
+/// threshold rows.
+const DENSE_ENTRY_OVERHEAD: usize = 64;
+/// Approximate per-aggregate overhead of the ordered destination map.
+const AGGREGATE_SLOT_OVERHEAD: usize = 32;
+
+/// Rough bytes consumed by one dense table (entries + id map + match index).
+pub fn dense_bytes_estimate(table: &SubscriptionTable) -> u64 {
+    (table.len() * (std::mem::size_of::<SubTableEntry>() + DENSE_ENTRY_OVERHEAD)) as u64
+}
+
+/// One broker's aggregate entry towards a remote destination: the routed
+/// fields every subscription attached there shares, plus the group's size
+/// and covering-set size. This is the *whole* per-subscription state an
+/// interior broker keeps for that destination — the merged path-stat
+/// envelope is exact because single-path routing gives all members of a
+/// destination the same remaining path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateEntry {
+    /// The neighbour matching messages are forwarded to (`nb`).
+    pub next_hop: BrokerId,
+    /// The outgoing link towards that neighbour.
+    pub next_link: LinkId,
+    /// Statistics of the remaining path to the destination.
+    pub stats: PathStats,
+    /// Members attached at the destination.
+    pub members: usize,
+    /// Size of the destination's covering set (observability only).
+    pub cover_roots: usize,
+}
+
+impl AggregateEntry {
+    /// Builds the aggregate towards a destination from its current route
+    /// and member group — the single construction path the bulk build, the
+    /// full rebuild and the incremental sync all share, so an aggregate can
+    /// never differ by how it was produced.
+    fn fresh(route: &crate::routing::RouteEntry, members: usize, cover_roots: usize) -> Self {
+        AggregateEntry {
+            next_hop: route.next_hop,
+            next_link: route.next_link,
+            stats: route.stats,
+            members,
+            cover_roots,
+        }
+    }
+}
+
+/// A layout-independent view of one table row, resolved at arrival time —
+/// everything the broker state machine needs to deliver locally or build a
+/// queued copy's target. Dense tables copy it out of their materialised
+/// entries; sparse tables assemble it from the local table, the shared
+/// registry and the per-destination aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedEntry {
+    /// The subscription this row serves.
+    pub subscription: SubscriptionId,
+    /// The subscriber that owns it.
+    pub subscriber: SubscriberId,
+    /// The price paid per valid delivery.
+    pub price: Price,
+    /// The subscriber-specified allowed delay (`Duration::MAX` when
+    /// unbounded).
+    pub allowed_delay: Duration,
+    /// The neighbour to forward to, or `None` for local delivery.
+    pub next_hop: Option<BrokerId>,
+    /// The outgoing link towards the next hop, when remote.
+    pub next_link: Option<LinkId>,
+    /// Statistics of the remaining path to the subscriber.
+    pub stats: PathStats,
+}
+
+impl ResolvedEntry {
+    /// Resolves a materialised dense entry.
+    pub fn from_entry(e: &SubTableEntry) -> Self {
+        ResolvedEntry {
+            subscription: e.subscription.id,
+            subscriber: e.subscription.subscriber,
+            price: e.subscription.price,
+            allowed_delay: e.subscription.allowed_delay(),
+            next_hop: e.next_hop,
+            next_link: e.next_link,
+            stats: e.stats,
+        }
+    }
+}
+
+/// The sparse table of one broker: full entries for locals, one aggregate
+/// per reachable remote destination, and a handle to the shared registry.
+#[derive(Debug, Clone)]
+pub struct SparseTable {
+    broker: BrokerId,
+    /// Full entries for locally attached subscriptions (the edge-expansion
+    /// set), reusing the dense machinery — including its matching index for
+    /// unscoped arrivals.
+    local: SubscriptionTable,
+    /// Aggregate entries keyed by destination edge broker. Invariant: an
+    /// entry exists iff the destination has at least one member, is not
+    /// this broker, and is currently reachable; its fields equal
+    /// `routing.route(self.broker, dest)` and the group's current sizes.
+    aggregates: BTreeMap<BrokerId, AggregateEntry>,
+    population: PopulationHandle,
+}
+
+impl SparseTable {
+    /// Builds the sparse table of `broker` over the current routing and the
+    /// shared registry.
+    pub fn build(broker: BrokerId, routing: &Routing, population: &PopulationHandle) -> Self {
+        let mut table = SparseTable {
+            broker,
+            local: SubscriptionTable::new(broker),
+            aggregates: BTreeMap::new(),
+            population: Arc::clone(population),
+        };
+        {
+            let pop = population.read().expect("population lock");
+            let mut locals = Vec::new();
+            if let Some(group) = pop.group(broker) {
+                for &id in group.ids() {
+                    let record = pop.member(id).expect("group member registered");
+                    locals.push(SubTableEntry {
+                        subscription: record.subscription.clone(),
+                        edge_broker: broker,
+                        next_hop: None,
+                        next_link: None,
+                        stats: PathStats::local(),
+                    });
+                }
+            }
+            table.local = SubscriptionTable::from_entries(broker, locals);
+        }
+        table.rebuild_aggregates(routing);
+        table
+    }
+
+    /// The broker this table belongs to.
+    pub fn broker(&self) -> BrokerId {
+        self.broker
+    }
+
+    /// The local (edge-expansion) entries.
+    pub fn local(&self) -> &SubscriptionTable {
+        &self.local
+    }
+
+    /// The aggregate entries, keyed by destination, ascending.
+    pub fn aggregates(&self) -> impl Iterator<Item = (BrokerId, &AggregateEntry)> + '_ {
+        self.aggregates.iter().map(|(b, a)| (*b, a))
+    }
+
+    /// Number of aggregate entries currently held.
+    pub fn aggregate_count(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// The shared registry handle.
+    pub fn population(&self) -> &PopulationHandle {
+        &self.population
+    }
+
+    /// Adds a locally attached subscription's full entry (the edge half of a
+    /// join; the registry is updated by the caller).
+    pub fn insert_local(&mut self, subscription: Subscription) {
+        self.local.insert(SubTableEntry {
+            edge_broker: self.broker,
+            next_hop: None,
+            next_link: None,
+            stats: PathStats::local(),
+            subscription,
+        });
+    }
+
+    /// Removes a locally attached subscription's entry, returning true when
+    /// it was present.
+    pub fn remove_local(&mut self, id: SubscriptionId) -> bool {
+        self.local.remove(id).is_some()
+    }
+
+    /// Brings the aggregate entry towards `dest` in line with the current
+    /// routing and registry — the sparse analogue of
+    /// [`SubscriptionTable::retarget_entries`], patching **one aggregate**
+    /// where the dense path patches one entry per subscription. Called after
+    /// a routing delta names `dest`, and after a join/leave changes the
+    /// group at `dest`. Returns the patch counters (at most one of
+    /// retargeted / inserted / removed is 1).
+    pub fn sync_aggregate(&mut self, routing: &Routing, dest: BrokerId) -> RetargetOutcome {
+        let mut outcome = RetargetOutcome::default();
+        if dest == self.broker {
+            return outcome; // locals carry no route and never move
+        }
+        let group_sizes = {
+            let pop = self.population.read().expect("population lock");
+            pop.group(dest).map(|g| (g.len(), g.forest().root_count()))
+        };
+        match (group_sizes, routing.route(self.broker, dest)) {
+            (Some((members, cover_roots)), Some(route)) => {
+                let fresh = AggregateEntry::fresh(route, members, cover_roots);
+                match self.aggregates.insert(dest, fresh) {
+                    Some(old) if old == fresh => {} // no-op patch
+                    Some(_) => outcome.retargeted += 1,
+                    None => outcome.inserted += 1,
+                }
+            }
+            _ => {
+                if self.aggregates.remove(&dest).is_some() {
+                    outcome.removed += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Rebuilds every aggregate from scratch over the current routing and
+    /// registry — the sparse analogue of a full table rebuild, used by the
+    /// full rebuild policy and by mass liveness transitions.
+    pub fn rebuild_aggregates(&mut self, routing: &Routing) {
+        self.aggregates.clear();
+        let pop = self.population.read().expect("population lock");
+        for (dest, group) in pop.groups() {
+            if dest == self.broker {
+                continue;
+            }
+            if let Some(route) = routing.route(self.broker, dest) {
+                self.aggregates.insert(
+                    dest,
+                    AggregateEntry::fresh(route, group.len(), group.forest().root_count()),
+                );
+            }
+        }
+    }
+
+    /// Resolves every subscription of a frozen scope in scope order, calling
+    /// `f` for each one this broker can currently serve — the sparse hot
+    /// path. Locals resolve through the local table; remotes through the
+    /// registry (one read-lock for the whole scope) and the per-destination
+    /// aggregate. A subscription that has left the population, or whose edge
+    /// broker is unreachable, is skipped — exactly the rows the dense table
+    /// would not hold.
+    pub fn resolve_scope(&self, scope: &ScopeSet, mut f: impl FnMut(ResolvedEntry)) {
+        let pop = self.population.read().expect("population lock");
+        for id in scope.iter() {
+            if let Some(e) = self.local.entry(id) {
+                f(ResolvedEntry::from_entry(e));
+                continue;
+            }
+            let Some(record) = pop.member(id) else {
+                continue; // left the population since the scope froze
+            };
+            let Some(agg) = self.aggregates.get(&record.edge) else {
+                continue; // unreachable (or local-but-removed): not served here
+            };
+            f(ResolvedEntry {
+                subscription: id,
+                subscriber: record.subscription.subscriber,
+                price: record.subscription.price,
+                allowed_delay: record.subscription.allowed_delay(),
+                next_hop: Some(agg.next_hop),
+                next_link: Some(agg.next_link),
+                stats: agg.stats,
+            });
+        }
+    }
+
+    /// All rows matching a raw (unscoped) message head, ascending by
+    /// subscription id — the covering-based routing path: per destination
+    /// the aggregate's covering set gates the check (sound, so no match is
+    /// missed), and only when a cover matches are the member filters
+    /// consulted, so a head matching no member is never delivered.
+    pub fn matching_all(&self, head: &MessageHead) -> Vec<ResolvedEntry> {
+        let pop = self.population.read().expect("population lock");
+        let mut out: Vec<ResolvedEntry> = self
+            .local
+            .matching(head)
+            .into_iter()
+            .map(ResolvedEntry::from_entry)
+            .collect();
+        for (&dest, agg) in &self.aggregates {
+            let Some(group) = pop.group(dest) else {
+                continue;
+            };
+            if !group.forest().any_root_matches(head) {
+                continue; // the aggregate gate: no member can match
+            }
+            for (id, filter) in group.forest().members() {
+                if filter.matches(head) {
+                    let record = pop.member(id).expect("group member registered");
+                    out.push(ResolvedEntry {
+                        subscription: id,
+                        subscriber: record.subscription.subscriber,
+                        price: record.subscription.price,
+                        allowed_delay: record.subscription.allowed_delay(),
+                        next_hop: Some(agg.next_hop),
+                        next_link: Some(agg.next_link),
+                        stats: agg.stats,
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|e| e.subscription);
+        out
+    }
+
+    /// Rough bytes of this broker's own state (locals + aggregates); the
+    /// shared registry is counted separately, once.
+    pub fn bytes_estimate(&self) -> u64 {
+        dense_bytes_estimate(&self.local)
+            + (self.aggregates.len()
+                * (std::mem::size_of::<AggregateEntry>() + AGGREGATE_SLOT_OVERHEAD))
+                as u64
+    }
+}
+
+/// A broker's subscription table under either layout. The broker state
+/// machine resolves arrivals through this enum so the scheduling pipeline
+/// downstream is completely layout-agnostic — which is what makes the
+/// dense-vs-sparse differential oracle meaningful.
+#[derive(Debug, Clone)]
+pub enum BrokerTable {
+    /// The dense replicated table (the oracle).
+    Dense(SubscriptionTable),
+    /// The sparse covering-aggregated table.
+    Sparse(SparseTable),
+}
+
+impl From<SubscriptionTable> for BrokerTable {
+    fn from(t: SubscriptionTable) -> Self {
+        BrokerTable::Dense(t)
+    }
+}
+
+impl From<SparseTable> for BrokerTable {
+    fn from(t: SparseTable) -> Self {
+        BrokerTable::Sparse(t)
+    }
+}
+
+impl BrokerTable {
+    /// The broker this table belongs to.
+    pub fn broker(&self) -> BrokerId {
+        match self {
+            BrokerTable::Dense(t) => t.broker(),
+            BrokerTable::Sparse(t) => t.broker(),
+        }
+    }
+
+    /// Which layout this table uses.
+    pub fn layout(&self) -> TableLayout {
+        match self {
+            BrokerTable::Dense(_) => TableLayout::Dense,
+            BrokerTable::Sparse(_) => TableLayout::Sparse,
+        }
+    }
+
+    /// Rows this broker actually stores: dense entries, or local entries
+    /// plus aggregates — the memory-relevant count.
+    pub fn stored_rows(&self) -> usize {
+        match self {
+            BrokerTable::Dense(t) => t.len(),
+            BrokerTable::Sparse(t) => t.local().len() + t.aggregate_count(),
+        }
+    }
+
+    /// The dense table, when this is the dense layout.
+    pub fn as_dense(&self) -> Option<&SubscriptionTable> {
+        match self {
+            BrokerTable::Dense(t) => Some(t),
+            BrokerTable::Sparse(_) => None,
+        }
+    }
+
+    /// Mutable dense access (engine maintenance paths).
+    pub fn as_dense_mut(&mut self) -> Option<&mut SubscriptionTable> {
+        match self {
+            BrokerTable::Dense(t) => Some(t),
+            BrokerTable::Sparse(_) => None,
+        }
+    }
+
+    /// The sparse table, when this is the sparse layout.
+    pub fn as_sparse(&self) -> Option<&SparseTable> {
+        match self {
+            BrokerTable::Sparse(t) => Some(t),
+            BrokerTable::Dense(_) => None,
+        }
+    }
+
+    /// Mutable sparse access (engine maintenance paths).
+    pub fn as_sparse_mut(&mut self) -> Option<&mut SparseTable> {
+        match self {
+            BrokerTable::Sparse(t) => Some(t),
+            BrokerTable::Dense(_) => None,
+        }
+    }
+
+    /// Resolves a frozen scope in scope order (see
+    /// [`SparseTable::resolve_scope`]); dense tables resolve by id lookup.
+    pub fn resolve_scope(&self, scope: &ScopeSet, mut f: impl FnMut(ResolvedEntry)) {
+        match self {
+            BrokerTable::Dense(t) => {
+                for id in scope.iter() {
+                    if let Some(e) = t.entry(id) {
+                        f(ResolvedEntry::from_entry(e));
+                    }
+                }
+            }
+            BrokerTable::Sparse(t) => t.resolve_scope(scope, f),
+        }
+    }
+
+    /// All rows matching a raw message head, ascending by subscription id
+    /// under both layouts.
+    pub fn matching_all(&self, head: &MessageHead) -> Vec<ResolvedEntry> {
+        match self {
+            // The dense matching index returns ascending ids already.
+            BrokerTable::Dense(t) => t
+                .matching(head)
+                .into_iter()
+                .map(ResolvedEntry::from_entry)
+                .collect(),
+            BrokerTable::Sparse(t) => t.matching_all(head),
+        }
+    }
+
+    /// Removes a subscription's materialised row (dense entry, or sparse
+    /// local entry), returning true when one was removed. Sparse aggregates
+    /// are synced separately by the engine (they need routing).
+    pub fn remove(&mut self, id: SubscriptionId) -> bool {
+        match self {
+            BrokerTable::Dense(t) => t.remove(id).is_some(),
+            BrokerTable::Sparse(t) => t.remove_local(id),
+        }
+    }
+
+    /// Aggregate entries held (0 under the dense layout).
+    pub fn aggregate_entries(&self) -> u64 {
+        match self {
+            BrokerTable::Dense(_) => 0,
+            BrokerTable::Sparse(t) => t.aggregate_count() as u64,
+        }
+    }
+
+    /// Rough bytes of this broker's own table state (the sparse layout's
+    /// shared registry is counted separately, once).
+    pub fn bytes_estimate(&self) -> u64 {
+        match self {
+            BrokerTable::Dense(t) => dense_bytes_estimate(t),
+            BrokerTable::Sparse(t) => t.bytes_estimate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OverlayGraph;
+    use crate::topology::Topology;
+    use bdps_filter::filter::Filter;
+    use bdps_net::bandwidth::FixedRate;
+    use bdps_net::link::LinkQuality;
+    use bdps_stats::rng::SimRng;
+    use bdps_types::id::SubscriberId;
+    use bdps_types::money::Price;
+    use bdps_types::qos::{DelayBound, QosClass};
+    use std::collections::BTreeSet;
+
+    fn fixed_quality(_rng: &mut SimRng) -> LinkQuality {
+        LinkQuality::new(FixedRate::new(60.0))
+    }
+
+    fn head(a1: f64, a2: f64) -> MessageHead {
+        let mut h = MessageHead::new();
+        h.set("A1", a1).set("A2", a2);
+        h
+    }
+
+    /// Line B0 - B1 - B2 with one QoS subscription on B2 and one best-effort
+    /// on B1 (mirrors the dense subtable tests).
+    fn line_setup() -> (Topology, Routing, Vec<(Subscription, BrokerId)>) {
+        let mut rng = SimRng::seed_from(1);
+        let mut topo = Topology::line(3, &mut rng, fixed_quality);
+        topo.graph
+            .attach_subscriber(BrokerId::new(2), SubscriberId::new(0));
+        topo.graph
+            .attach_subscriber(BrokerId::new(1), SubscriberId::new(1));
+        let routing = Routing::compute(&topo.graph);
+        let subs = vec![
+            (
+                Subscription::with_qos(
+                    SubscriptionId::new(0),
+                    SubscriberId::new(0),
+                    Filter::paper_conjunction(5.0, 5.0),
+                    QosClass::new(DelayBound::from_secs(10), Price::from_units(3)),
+                ),
+                BrokerId::new(2),
+            ),
+            (
+                Subscription::best_effort(
+                    SubscriptionId::new(1),
+                    SubscriberId::new(1),
+                    Filter::paper_conjunction(9.0, 9.0),
+                ),
+                BrokerId::new(1),
+            ),
+        ];
+        (topo, routing, subs)
+    }
+
+    fn handle(subs: &[(Subscription, BrokerId)]) -> PopulationHandle {
+        Arc::new(RwLock::new(SharedPopulation::from_population(subs)))
+    }
+
+    /// Resolution oracle: the sparse table resolves every scope id exactly
+    /// as the dense table materialises it.
+    fn assert_matches_dense(
+        broker: BrokerId,
+        routing: &Routing,
+        subs: &[(Subscription, BrokerId)],
+        pop: &PopulationHandle,
+    ) {
+        let dense = SubscriptionTable::build(broker, routing, subs);
+        let sparse = SparseTable::build(broker, routing, pop);
+        let all_ids: Vec<SubscriptionId> = subs.iter().map(|(s, _)| s.id).collect();
+        let scope = ScopeSet::from_unsorted(all_ids);
+        let mut resolved = Vec::new();
+        sparse.resolve_scope(&scope, |e| resolved.push(e));
+        let expected: Vec<ResolvedEntry> = scope
+            .iter()
+            .filter_map(|id| dense.entry(id).map(ResolvedEntry::from_entry))
+            .collect();
+        assert_eq!(resolved, expected, "scope resolution drifted at {broker}");
+    }
+
+    #[test]
+    fn sparse_resolution_equals_dense_on_the_line() {
+        let (_topo, routing, subs) = line_setup();
+        let pop = handle(&subs);
+        for b in 0..3 {
+            assert_matches_dense(BrokerId::new(b), &routing, &subs, &pop);
+        }
+    }
+
+    #[test]
+    fn sparse_build_stores_locals_and_aggregates() {
+        let (_topo, routing, subs) = line_setup();
+        let pop = handle(&subs);
+        let b0 = SparseTable::build(BrokerId::new(0), &routing, &pop);
+        assert_eq!(b0.local().len(), 0, "B0 has no locals");
+        assert_eq!(b0.aggregate_count(), 2, "one aggregate per remote edge");
+        let b2 = SparseTable::build(BrokerId::new(2), &routing, &pop);
+        assert_eq!(b2.local().len(), 1);
+        assert_eq!(b2.aggregate_count(), 1);
+        // Aggregate fields equal the routing towards the destination.
+        let (dest, agg) = b0.aggregates().next().unwrap();
+        let route = routing.route(BrokerId::new(0), dest).unwrap();
+        assert_eq!(agg.next_hop, route.next_hop);
+        assert_eq!(agg.stats, route.stats);
+        assert_eq!(agg.members, 1);
+        assert!(agg.cover_roots >= 1);
+    }
+
+    #[test]
+    fn unscoped_matching_agrees_with_dense_and_orders_by_id() {
+        let (_topo, routing, subs) = line_setup();
+        let pop = handle(&subs);
+        for b in 0..3u32 {
+            let broker = BrokerId::new(b);
+            let dense: BrokerTable = SubscriptionTable::build(broker, &routing, &subs).into();
+            let sparse: BrokerTable = SparseTable::build(broker, &routing, &pop).into();
+            for h in [head(1.0, 1.0), head(7.0, 7.0), head(9.5, 9.5)] {
+                let d = dense.matching_all(&h);
+                let s = sparse.matching_all(&h);
+                assert_eq!(d, s, "unscoped matching drifted at {broker}");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_aggregate_follows_link_changes() {
+        let (topo, healthy, subs) = line_setup();
+        let pop = handle(&subs);
+        let mut table = SparseTable::build(BrokerId::new(0), &healthy, &pop);
+        assert_eq!(table.aggregate_count(), 2);
+
+        // Sever B1 <-> B2: the aggregate towards B2 must disappear.
+        let cut: BTreeSet<_> = topo
+            .graph
+            .links()
+            .filter(|l| {
+                (l.from == BrokerId::new(1) && l.to == BrokerId::new(2))
+                    || (l.from == BrokerId::new(2) && l.to == BrokerId::new(1))
+            })
+            .map(|l| l.id)
+            .collect();
+        let severed = Routing::compute_filtered(&topo.graph, |l| !cut.contains(&l));
+        let outcome = table.sync_aggregate(&severed, BrokerId::new(2));
+        assert_eq!(outcome.removed, 1);
+        assert_eq!(table.aggregate_count(), 1);
+        // The scope no longer resolves the severed subscription.
+        let scope = ScopeSet::from_unsorted(vec![SubscriptionId::new(0)]);
+        let mut seen = 0;
+        table.resolve_scope(&scope, |_| seen += 1);
+        assert_eq!(seen, 0);
+
+        // Restore: the aggregate reappears with fresh routed fields.
+        let outcome = table.sync_aggregate(&healthy, BrokerId::new(2));
+        assert_eq!(outcome.inserted, 1);
+        assert_matches_dense(BrokerId::new(0), &healthy, &subs, &pop);
+        // Syncing towards the own broker is a no-op.
+        let own = table.sync_aggregate(&healthy, BrokerId::new(0));
+        assert_eq!(own, RetargetOutcome::default());
+    }
+
+    #[test]
+    fn registry_churn_keeps_groups_and_forests_consistent() {
+        let (_topo, routing, subs) = line_setup();
+        let pop = handle(&subs);
+        {
+            let mut p = pop.write().unwrap();
+            p.insert(
+                Subscription::best_effort(
+                    SubscriptionId::new(2),
+                    SubscriberId::new(2),
+                    Filter::paper_conjunction(2.0, 2.0),
+                ),
+                BrokerId::new(2),
+            );
+            assert_eq!(p.len(), 3);
+            assert_eq!(p.group(BrokerId::new(2)).unwrap().len(), 2);
+            p.group(BrokerId::new(2))
+                .unwrap()
+                .forest()
+                .check_invariants()
+                .unwrap();
+            // The narrow newcomer is covered by the wider resident filter.
+            assert_eq!(p.group(BrokerId::new(2)).unwrap().forest().root_count(), 1);
+            p.remove(SubscriptionId::new(0));
+            assert_eq!(p.group(BrokerId::new(2)).unwrap().len(), 1);
+            p.remove(SubscriptionId::new(2));
+            assert!(p.group(BrokerId::new(2)).is_none(), "empty groups drop");
+            assert_eq!(p.len(), 1);
+        }
+        // A broker syncing after the churn drops the dead aggregate.
+        let mut table = SparseTable::build(BrokerId::new(0), &routing, &pop);
+        assert_eq!(table.aggregate_count(), 1);
+        let outcome = table.sync_aggregate(&routing, BrokerId::new(2));
+        assert_eq!(outcome, RetargetOutcome::default());
+    }
+
+    #[test]
+    fn unreachable_destinations_get_no_aggregate() {
+        let mut g = OverlayGraph::new();
+        let a = g.add_broker(None);
+        let b = g.add_broker(None);
+        let routing = Routing::compute(&g);
+        let subs = vec![(
+            Subscription::best_effort(
+                SubscriptionId::new(0),
+                SubscriberId::new(0),
+                Filter::match_all(),
+            ),
+            b,
+        )];
+        let pop = handle(&subs);
+        let table = SparseTable::build(a, &routing, &pop);
+        assert_eq!(table.aggregate_count(), 0);
+        assert_eq!(table.local().len(), 0);
+        assert!(table.matching_all(&head(1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn layout_names_round_trip() {
+        for layout in TableLayout::ALL {
+            assert_eq!(TableLayout::from_name(layout.name()), Some(layout));
+        }
+        assert_eq!(
+            TableLayout::from_name("COVERING"),
+            Some(TableLayout::Sparse)
+        );
+        assert_eq!(
+            TableLayout::from_name("replicated"),
+            Some(TableLayout::Dense)
+        );
+        assert!(TableLayout::from_name("bogus").is_none());
+        assert_eq!(TableLayout::default(), TableLayout::Dense);
+        assert_eq!(TableLayout::Sparse.to_string(), "sparse");
+    }
+
+    #[test]
+    fn bytes_estimates_favour_sparse_interior_brokers() {
+        // 4-broker star with everything attached at the leaves: the hub's
+        // dense table holds every subscription; its sparse table holds only
+        // aggregates.
+        let mut rng = SimRng::seed_from(7);
+        let mut topo = Topology::star(4, &mut rng, fixed_quality);
+        let mut subs = Vec::new();
+        for i in 0..30u32 {
+            let edge = BrokerId::new(1 + (i % 3));
+            topo.graph.attach_subscriber(edge, SubscriberId::new(i));
+            subs.push((
+                Subscription::best_effort(
+                    SubscriptionId::new(i),
+                    SubscriberId::new(i),
+                    Filter::paper_conjunction(f64::from(i % 10), 5.0),
+                ),
+                edge,
+            ));
+        }
+        let routing = Routing::compute(&topo.graph);
+        let pop = handle(&subs);
+        let hub = BrokerId::new(0);
+        let dense: BrokerTable = SubscriptionTable::build(hub, &routing, &subs).into();
+        let sparse: BrokerTable = SparseTable::build(hub, &routing, &pop).into();
+        assert_eq!(dense.stored_rows(), 30);
+        assert_eq!(sparse.stored_rows(), 3, "one aggregate per leaf");
+        assert!(sparse.bytes_estimate() * 5 <= dense.bytes_estimate());
+        assert_eq!(sparse.aggregate_entries(), 3);
+        assert_eq!(dense.aggregate_entries(), 0);
+        assert_matches_dense(hub, &routing, &subs, &pop);
+    }
+}

@@ -182,23 +182,6 @@ impl SubscriptionTable {
             .collect()
     }
 
-    /// Matching entries grouped by forwarding decision: local deliveries and
-    /// one group per next-hop neighbour.
-    pub fn matching_by_next_hop(
-        &self,
-        head: &MessageHead,
-    ) -> (Vec<&SubTableEntry>, HashMap<BrokerId, Vec<&SubTableEntry>>) {
-        let mut local = Vec::new();
-        let mut remote: HashMap<BrokerId, Vec<&SubTableEntry>> = HashMap::new();
-        for e in self.matching(head) {
-            match e.next_hop {
-                None => local.push(e),
-                Some(nb) => remote.entry(nb).or_default().push(e),
-            }
-        }
-        (local, remote)
-    }
-
     /// Builds the table of `broker` for a population of subscriptions, each
     /// attached at its edge broker. Subscriptions whose edge broker is
     /// unreachable from this broker are skipped (they can never be served
@@ -421,17 +404,28 @@ mod tests {
     fn matching_and_grouping() {
         let (_topo, routing, subs) = line_setup();
         let table = SubscriptionTable::build(BrokerId::new(1), &routing, &subs);
+        let split = |h: &MessageHead| {
+            let mut local = Vec::new();
+            let mut remote: HashMap<BrokerId, Vec<&SubTableEntry>> = HashMap::new();
+            for e in table.matching(h) {
+                match e.next_hop {
+                    None => local.push(e),
+                    Some(nb) => remote.entry(nb).or_default().push(e),
+                }
+            }
+            (local, remote)
+        };
         // A head matching both filters.
-        let (local, remote) = table.matching_by_next_hop(&head(1.0, 1.0));
+        let (local, remote) = split(&head(1.0, 1.0));
         assert_eq!(local.len(), 1); // subscription 1 is local to broker 1
         assert_eq!(remote.len(), 1);
         assert_eq!(remote[&BrokerId::new(2)].len(), 1);
         // A head matching only the wide filter.
-        let (local, remote) = table.matching_by_next_hop(&head(7.0, 7.0));
+        let (local, remote) = split(&head(7.0, 7.0));
         assert_eq!(local.len(), 1);
         assert!(remote.is_empty());
         // A head matching nothing.
-        let (local, remote) = table.matching_by_next_hop(&head(9.5, 9.5));
+        let (local, remote) = split(&head(9.5, 9.5));
         assert!(local.is_empty());
         assert!(remote.is_empty());
     }

@@ -37,6 +37,7 @@ use crate::runner::{SimulationConfig, TopologySpec};
 use crate::scenario::{DynamicScenario, ScenarioRegistry};
 use crate::sched::EventQueueKind;
 use crate::workload::WorkloadConfig;
+use bdps_overlay::sparse::TableLayout;
 
 /// Fluent construction of one simulation run.
 ///
@@ -63,6 +64,7 @@ pub struct SimulationBuilder {
     scenario: DynamicScenario,
     event_queue: EventQueueKind,
     rebuild_policy: RebuildPolicy,
+    table_layout: TableLayout,
 }
 
 impl Default for SimulationBuilder {
@@ -79,6 +81,7 @@ impl Default for SimulationBuilder {
             scenario: DynamicScenario::static_scenario(),
             event_queue: EventQueueKind::default(),
             rebuild_policy: RebuildPolicy::default(),
+            table_layout: TableLayout::default(),
         }
     }
 }
@@ -104,6 +107,7 @@ impl SimulationBuilder {
             scenario: config.scenario.clone(),
             event_queue: config.event_queue,
             rebuild_policy: config.rebuild_policy,
+            table_layout: config.table_layout,
         }
     }
 
@@ -251,6 +255,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects how brokers materialise their subscription tables (dense
+    /// replicated entries by default). Both [`TableLayout`]s produce
+    /// bit-identical reports — the dense layout is kept as the differential
+    /// oracle (`tests/layout_equivalence.rs`) — so this trades table memory
+    /// and maintenance cost, never results.
+    pub fn table_layout(mut self, layout: TableLayout) -> Self {
+        self.table_layout = layout;
+        self
+    }
+
     /// Sets the root RNG seed; topology, workload, scheduling and scenario
     /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -295,6 +309,7 @@ impl SimulationBuilder {
             scenario: self.scenario.clone(),
             event_queue: self.event_queue,
             rebuild_policy: self.rebuild_policy,
+            table_layout: self.table_layout,
         }
     }
 
@@ -321,10 +336,14 @@ impl SimulationBuilder {
             sim = sim.with_event_queue(config.event_queue);
         }
         sim = sim.with_rebuild_policy(config.rebuild_policy);
+        sim = sim.with_table_layout(config.table_layout);
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
         }
-        sim
+        // Materialise broker state here so its cost lands in the build
+        // phase (what the scale bench reports as build time), not in the
+        // first instants of `run`.
+        sim.prepare()
     }
 
     /// Builds, runs to completion and wraps the outcome in a

@@ -31,7 +31,8 @@ use bdps_filter::scope::{ScopeInterner, ScopeSet};
 use bdps_filter::subscription::Subscription;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::graph::OverlayGraph;
-use bdps_overlay::routing::Routing;
+use bdps_overlay::routing::{RouteDelta, Routing};
+use bdps_overlay::sparse::{PopulationHandle, SharedPopulation, SparseTable, TableLayout};
 use bdps_overlay::subtable::{RetargetOutcome, SubscriptionTable};
 use bdps_overlay::topology::Topology;
 use bdps_stats::rng::SimRng;
@@ -41,7 +42,7 @@ use bdps_types::message::Message;
 use bdps_types::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::scenario::{DynamicScenario, ScenarioAction};
 use crate::sched::{EventQueue, EventQueueKind, Scheduled};
@@ -205,11 +206,26 @@ pub struct SimulationOutcome {
     /// [`RebuildPolicy::Full`], plus the brokers whose mass reachability
     /// transitions the incremental path chose to bulk-rebuild (cheaper than
     /// entry-at-a-time patching when most destinations moved at once).
+    /// Under [`TableLayout::Sparse`] the rebuilt unit is the broker's
+    /// aggregate set.
     pub tables_rebuilt_full: u64,
     /// Table entries patched by the incremental rebuild path — retargeted in
     /// place, inserted on recovered reachability or removed on lost
     /// reachability (non-zero only under [`RebuildPolicy::Incremental`]).
+    /// Under [`TableLayout::Sparse`] the patched unit is one aggregate
+    /// entry per changed `(broker, destination)` pair, not one entry per
+    /// subscription.
     pub entries_retargeted: u64,
+    /// Aggregate table entries held across all brokers when the run ended —
+    /// non-zero only under [`TableLayout::Sparse`], where interior brokers
+    /// store one covering-aggregated entry per reachable destination
+    /// instead of one entry per subscription.
+    pub aggregate_entries: u64,
+    /// Rough bytes of subscription-table state at the end of the run: the
+    /// sum of every broker's own table plus (under the sparse layout) the
+    /// shared population registry, counted once. The memory axis the
+    /// `scale` bench tracks per layout.
+    pub table_bytes_estimate: u64,
 }
 
 impl SimulationOutcome {
@@ -247,6 +263,17 @@ impl SimulationOutcome {
     /// Total copies requeued after their link failed mid-transfer.
     pub fn requeued(&self) -> u64 {
         self.broker_counters.iter().map(|c| c.requeued).sum()
+    }
+
+    /// Total local deliveries produced by expanding a covering aggregate at
+    /// an edge broker — non-zero only under [`TableLayout::Sparse`], where
+    /// it equals the local delivery count (interior brokers route on
+    /// aggregates, only edge brokers expand to concrete subscribers).
+    pub fn expanded_at_edge(&self) -> u64 {
+        self.broker_counters
+            .iter()
+            .map(|c| c.expanded_at_edge)
+            .sum()
     }
 
     /// Total copies handed to links.
@@ -323,6 +350,15 @@ pub struct Simulation {
     link_alive_at_rebuild: Vec<bool>,
     /// How routing and tables are brought in line after link events.
     rebuild_policy: RebuildPolicy,
+    /// How brokers materialise their subscription tables (dense replicated
+    /// entries, or sparse covering aggregates over the shared registry).
+    table_layout: TableLayout,
+    /// The shared population registry (sparse layout only), referenced by
+    /// every broker's table.
+    population: Option<PopulationHandle>,
+    /// Set once [`build_brokers`](Self::build_brokers) materialised the
+    /// per-broker state for the configured layout.
+    brokers_built: bool,
     tables_rebuilt_full: u64,
     entries_retargeted: u64,
     link_of: Vec<Vec<Option<LinkId>>>,
@@ -450,16 +486,13 @@ impl Simulation {
         let mut scenario_rng = rng.split(0x5CE7_A210);
         let scenario_events = scenario.materialize(&topology, &workload, &mut scenario_rng);
 
-        // Per-broker subscription tables and broker state machines, both built
-        // from the believed graph (what measurement reports), while actual
-        // transfer times are sampled from the true graph below.
-        let tables = SubscriptionTable::build_all(&believed_graph, &routing, &subscriptions);
-        let brokers: Vec<BrokerState> = tables
-            .into_iter()
-            .map(|table| {
-                BrokerState::from_overlay(&believed_graph, table.broker(), table, scheduler.clone())
-            })
-            .collect();
+        // Per-broker subscription tables and broker state machines are built
+        // lazily (see [`build_brokers`](Self::build_brokers)): the layout may
+        // still change through `with_table_layout`, and at 10⁵+ subscribers
+        // building dense tables only to discard them for sparse ones would
+        // dominate construction. Both are built from the believed graph
+        // (what measurement reports), while actual transfer times are
+        // sampled from the true graph.
 
         // Global filter index used to count ts_i at publication time.
         let global_index =
@@ -487,7 +520,7 @@ impl Simulation {
         let end = SimTime::ZERO + workload.duration;
         let mut sim = Simulation {
             topology,
-            brokers,
+            brokers: Vec::new(),
             subscriptions,
             global_index,
             believed_graph,
@@ -500,6 +533,9 @@ impl Simulation {
             link_dirty,
             link_alive_at_rebuild,
             rebuild_policy: RebuildPolicy::default(),
+            table_layout: TableLayout::default(),
+            population: None,
+            brokers_built: false,
             tables_rebuilt_full: 0,
             entries_retargeted: 0,
             link_of,
@@ -574,6 +610,80 @@ impl Simulation {
         self
     }
 
+    /// Selects how brokers materialise their subscription tables (see
+    /// [`TableLayout`]; dense by default). Both layouts yield bit-identical
+    /// results — the dense replicated table survives as the differential
+    /// oracle (`tests/layout_equivalence.rs`) — so the choice trades memory
+    /// (`O(brokers × subscriptions)` dense vs `O(population + brokers²)`
+    /// sparse) and maintenance cost, never outcomes. Call before
+    /// [`run`](Self::run) or [`prepare`](Self::prepare).
+    pub fn with_table_layout(mut self, layout: TableLayout) -> Self {
+        assert!(
+            !self.brokers_built,
+            "table layout must be chosen before broker state is materialised"
+        );
+        self.table_layout = layout;
+        self
+    }
+
+    /// Materialises the per-broker state (tables and queues) for the
+    /// configured layout. The builder calls this so construction cost is
+    /// paid in the build phase rather than inside the first instants of
+    /// [`run`](Self::run); `run` calls it automatically when skipped.
+    pub fn prepare(mut self) -> Self {
+        self.build_brokers();
+        self
+    }
+
+    fn build_brokers(&mut self) {
+        if self.brokers_built {
+            return;
+        }
+        self.brokers_built = true;
+        match self.table_layout {
+            TableLayout::Dense => {
+                let tables = SubscriptionTable::build_all(
+                    &self.believed_graph,
+                    &self.routing,
+                    &self.subscriptions,
+                );
+                self.brokers = tables
+                    .into_iter()
+                    .map(|table| {
+                        BrokerState::from_overlay(
+                            &self.believed_graph,
+                            table.broker(),
+                            table,
+                            self.scheduler.clone(),
+                        )
+                    })
+                    .collect();
+            }
+            TableLayout::Sparse => {
+                let population: PopulationHandle = Arc::new(RwLock::new(
+                    SharedPopulation::from_population(&self.subscriptions),
+                ));
+                self.brokers = (0..self.believed_graph.broker_count())
+                    .map(|i| {
+                        let id = BrokerId::new(i as u32);
+                        BrokerState::from_overlay(
+                            &self.believed_graph,
+                            id,
+                            SparseTable::build(id, &self.routing, &population),
+                            self.scheduler.clone(),
+                        )
+                    })
+                    .collect();
+                self.population = Some(population);
+            }
+        }
+    }
+
+    /// The table layout this run uses.
+    pub fn table_layout(&self) -> TableLayout {
+        self.table_layout
+    }
+
     /// The subscription population of this run (changes under churn).
     pub fn subscriptions(&self) -> &[(Subscription, BrokerId)] {
         &self.subscriptions
@@ -623,6 +733,7 @@ impl Simulation {
 
     /// Runs the simulation to completion and returns the outcome.
     pub fn run(mut self) -> SimulationOutcome {
+        self.build_brokers();
         let hard_stop = self.end + self.drain_grace;
         while let Some(entry) = self.events.pop_if_at_or_before(hard_stop) {
             self.now = entry.time;
@@ -664,6 +775,22 @@ impl Simulation {
             };
         }
 
+        let aggregate_entries: u64 = self
+            .brokers
+            .iter()
+            .map(|b| b.table().aggregate_entries())
+            .sum();
+        let table_bytes_estimate: u64 = self
+            .brokers
+            .iter()
+            .map(|b| b.table().bytes_estimate())
+            .sum::<u64>()
+            + self
+                .population
+                .as_ref()
+                .map(|p| p.read().expect("population lock").bytes_estimate())
+                .unwrap_or(0);
+
         SimulationOutcome {
             tracker: self.tracker,
             broker_counters: self.brokers.iter().map(|b| b.counters).collect(),
@@ -682,6 +809,8 @@ impl Simulation {
             scope_intern_hits: self.scope_interner.hits(),
             tables_rebuilt_full: self.tables_rebuilt_full,
             entries_retargeted: self.entries_retargeted,
+            aggregate_entries,
+            table_bytes_estimate,
         }
     }
 
@@ -832,30 +961,77 @@ impl Simulation {
             } => {
                 self.global_index
                     .insert(subscription.id, subscription.filter.clone());
-                for i in 0..self.brokers.len() {
-                    if let Some(entry) = SubscriptionTable::entry_for(
-                        self.brokers[i].id,
-                        &self.routing,
-                        &subscription,
-                        broker,
-                    ) {
-                        self.brokers[i].insert_subscription(entry);
+                match self.table_layout {
+                    TableLayout::Dense => {
+                        for i in 0..self.brokers.len() {
+                            if let Some(entry) = SubscriptionTable::entry_for(
+                                self.brokers[i].id,
+                                &self.routing,
+                                &subscription,
+                                broker,
+                            ) {
+                                self.brokers[i].insert_subscription(entry);
+                            }
+                        }
+                    }
+                    TableLayout::Sparse => {
+                        // Register once globally, expand only at the edge;
+                        // interior brokers just refresh their aggregate's
+                        // group size (and routed fields, unchanged here).
+                        self.population
+                            .as_ref()
+                            .expect("sparse layout has a population registry")
+                            .write()
+                            .expect("population lock")
+                            .insert(subscription.clone(), broker);
+                        let routing = &self.routing;
+                        for b in &mut self.brokers {
+                            if b.id == broker {
+                                b.insert_local_subscription(subscription.clone());
+                            } else {
+                                b.sync_aggregate(routing, broker);
+                            }
+                        }
                     }
                 }
                 self.subscriptions.push((subscription, broker));
             }
             ScenarioAction::SubscriptionLeave { subscription } => {
                 self.global_index.remove(subscription);
+                let mut edge = None;
                 if let Some(pos) = self
                     .subscriptions
                     .iter()
                     .position(|(s, _)| s.id == subscription)
                 {
+                    edge = Some(self.subscriptions[pos].1);
                     self.subscriptions.remove(pos);
                 }
+                if self.table_layout == TableLayout::Sparse {
+                    self.population
+                        .as_ref()
+                        .expect("sparse layout has a population registry")
+                        .write()
+                        .expect("population lock")
+                        .remove(subscription);
+                }
+                let sparse_edge = match self.table_layout {
+                    TableLayout::Sparse => edge,
+                    TableLayout::Dense => None,
+                };
+                let routing = &self.routing;
                 let mut orphaned = 0;
                 for b in &mut self.brokers {
+                    // Strips the local/dense row and every queued copy's
+                    // target under both layouts.
                     orphaned += b.remove_subscription(subscription);
+                    if let Some(dest) = sparse_edge {
+                        // Shrink (or drop) the aggregate towards the edge
+                        // the subscription left.
+                        if b.id != dest {
+                            b.sync_aggregate(routing, dest);
+                        }
+                    }
                 }
                 self.current_phase().dropped += orphaned;
             }
@@ -998,10 +1174,26 @@ impl Simulation {
         let depth = std::mem::take(&mut self.link_down_depth);
         self.routing = Routing::compute_filtered(&self.believed_graph, |l| depth[l.index()] == 0);
         self.link_down_depth = depth;
-        for i in 0..self.brokers.len() {
-            let table =
-                SubscriptionTable::build(self.brokers[i].id, &self.routing, &self.subscriptions);
-            self.brokers[i].set_table(table);
+        match self.table_layout {
+            TableLayout::Dense => {
+                for i in 0..self.brokers.len() {
+                    let table = SubscriptionTable::build(
+                        self.brokers[i].id,
+                        &self.routing,
+                        &self.subscriptions,
+                    );
+                    self.brokers[i].set_table(table);
+                }
+            }
+            TableLayout::Sparse => {
+                // The sparse analogue of a full table rebuild: every
+                // broker's aggregate set from scratch — `O(brokers ×
+                // destinations)` instead of `O(brokers × population)`.
+                let routing = &self.routing;
+                for b in &mut self.brokers {
+                    b.rebuild_aggregates(routing);
+                }
+            }
         }
         self.tables_rebuilt_full += self.brokers.len() as u64;
     }
@@ -1026,6 +1218,32 @@ impl Simulation {
         if delta.is_empty() {
             return;
         }
+        match self.table_layout {
+            TableLayout::Dense => self.patch_dense_tables(&delta),
+            TableLayout::Sparse => self.patch_sparse_tables(&delta),
+        }
+    }
+
+    /// The sparse incremental patch: one [`BrokerState::sync_aggregate`]
+    /// call per changed `(broker, destination)` pair — `O(changed pairs)`
+    /// total, with no population-grouping pass and no mass-transition
+    /// fallback (removing or inserting an aggregate is `O(log dests)`, so
+    /// the blackout worst case the dense path must special-case is already
+    /// cheap here).
+    fn patch_sparse_tables(&mut self, delta: &RouteDelta) {
+        let routing = &self.routing;
+        let mut patched = RetargetOutcome::default();
+        for (i, broker) in self.brokers.iter_mut().enumerate() {
+            let source = BrokerId::new(i as u32);
+            for &dest in delta.changed_dests(source) {
+                patched.absorb(broker.sync_aggregate(routing, dest));
+            }
+        }
+        self.entries_retargeted += patched.total();
+    }
+
+    /// The dense incremental patch (see [`SubscriptionTable::retarget_entries`]).
+    fn patch_dense_tables(&mut self, delta: &RouteDelta) {
         // Group the population by edge broker, but only for the destinations
         // that actually appear in the delta — one pass over the population
         // instead of one pass per broker.
@@ -1061,7 +1279,12 @@ impl Simulation {
             for &dest in dests {
                 let subs = attached.get(&dest).map(Vec::as_slice).unwrap_or(&[]);
                 let Some(first) = subs.first() else { continue };
-                let present = broker.table().entry(first.id).is_some();
+                let present = broker
+                    .table()
+                    .as_dense()
+                    .expect("dense patch path runs under the dense layout")
+                    .entry(first.id)
+                    .is_some();
                 let reachable = dest == source || routing.route(source, dest).is_some();
                 if present != reachable {
                     transitions += subs.len();
@@ -1665,6 +1888,65 @@ mod tests {
             "an every-link outage must route through the bulk fallback"
         );
         incremental.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn table_layouts_agree_and_report_their_counters() {
+        let run = |layout: TableLayout| {
+            let topo = small_topology(28);
+            let mut w = WorkloadConfig::paper_ssd(10.0);
+            w.duration = Duration::from_secs(300);
+            let registry = ScenarioRegistry::builtin();
+            Simulation::with_scenario(
+                topo,
+                w,
+                SchedulerConfig::paper(StrategyKind::MaxEb),
+                SimRng::seed_from(28),
+                EstimationError::NONE,
+                registry.resolve("chaos").expect("chaos is builtin"),
+            )
+            .with_table_layout(layout)
+            .run()
+        };
+        let dense = run(TableLayout::Dense);
+        let sparse = run(TableLayout::Sparse);
+        // Bit-identical results whichever layout the brokers store.
+        assert_eq!(dense.published, sparse.published);
+        assert_eq!(dense.transmissions, sparse.transmissions);
+        assert_eq!(dense.message_number(), sparse.message_number());
+        assert_eq!(
+            dense.tracker.total_on_time(),
+            sparse.tracker.total_on_time()
+        );
+        assert_eq!(dense.tracker.total_late(), sparse.tracker.total_late());
+        assert_eq!(
+            dense.tracker.total_earning().millis(),
+            sparse.tracker.total_earning().millis()
+        );
+        assert_eq!(dense.queued_at_end, sparse.queued_at_end);
+        assert_eq!(dense.requeued(), sparse.requeued());
+        assert_eq!(
+            dense.dropped_unsubscribed(),
+            sparse.dropped_unsubscribed(),
+            "churn bookkeeping must match across layouts"
+        );
+        sparse.check_conservation().unwrap();
+        // Layout observability: only the sparse run stores aggregates and
+        // expands them at edge brokers; its tables are much smaller.
+        assert_eq!(dense.aggregate_entries, 0);
+        assert_eq!(dense.expanded_at_edge(), 0);
+        assert!(sparse.aggregate_entries > 0);
+        assert_eq!(
+            sparse.expanded_at_edge(),
+            sparse.tracker.total_on_time() + sparse.tracker.total_late(),
+            "every sparse local delivery is an edge expansion"
+        );
+        assert!(
+            sparse.table_bytes_estimate * 2 <= dense.table_bytes_estimate,
+            "sparse tables must be substantially smaller: {} vs {}",
+            sparse.table_bytes_estimate,
+            dense.table_bytes_estimate
+        );
     }
 
     #[test]

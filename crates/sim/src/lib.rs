@@ -36,6 +36,7 @@ pub mod scenario;
 pub mod sched;
 pub mod workload;
 
+pub use bdps_overlay::sparse::TableLayout;
 pub use builder::SimulationBuilder;
 pub use engine::{PhaseOutcome, RebuildPolicy, Simulation, SimulationOutcome};
 pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
@@ -59,4 +60,5 @@ pub mod prelude {
         ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
         WorkloadConfig,
     };
+    pub use bdps_overlay::sparse::TableLayout;
 }

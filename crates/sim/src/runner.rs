@@ -13,6 +13,7 @@ use bdps_core::config::{SchedulerConfig, StrategyKind};
 use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
 use bdps_net::link::LinkQuality;
 use bdps_net::measure::EstimationError;
+use bdps_overlay::sparse::TableLayout;
 use bdps_overlay::topology::{LayeredMeshConfig, Topology};
 use bdps_stats::rng::SimRng;
 use bdps_types::error::Result;
@@ -76,6 +77,10 @@ pub struct SimulationConfig {
     /// (incremental by default; both policies yield bit-identical results,
     /// see [`RebuildPolicy`]).
     pub rebuild_policy: RebuildPolicy,
+    /// How brokers materialise their subscription tables (dense replicated
+    /// by default; both layouts yield bit-identical results, see
+    /// [`TableLayout`]).
+    pub table_layout: TableLayout,
 }
 
 impl SimulationConfig {

@@ -217,42 +217,138 @@ fn link_flap_golden_table() -> Vec<(StrategyKind, LinkFlapGolden)> {
 }
 
 #[test]
-fn seed_42_link_flap_metrics_are_pinned_under_both_rebuild_policies_and_schedulers() {
+fn seed_42_link_flap_metrics_are_pinned_under_both_rebuild_policies_schedulers_and_layouts() {
     // A link-failure scenario drives the routing/table rebuild machinery;
     // the pinned metrics must be reproduced by every rebuild policy × event
-    // scheduler combination — the full rebuild is the oracle the
-    // incremental path must match bit-for-bit, and neither scheduler may
-    // reorder the same-instant link batches it coalesces over.
+    // scheduler × table layout combination — the full rebuild is the oracle
+    // the incremental path must match bit-for-bit, neither scheduler may
+    // reorder the same-instant link batches it coalesces over, and the
+    // sparse covering-aggregated tables must resolve every arrival exactly
+    // like the dense replicated oracle.
     use bdps::sim::sched::EventQueueKind;
-    use bdps::sim::RebuildPolicy;
+    use bdps::sim::{RebuildPolicy, TableLayout};
     for (strategy, expected) in link_flap_golden_table() {
         for policy in RebuildPolicy::ALL {
             for queue in EventQueueKind::ALL {
-                let report = Simulation::builder()
-                    .layered_mesh(LayeredMeshConfig::small())
-                    .ssd(20.0)
-                    .duration(Duration::from_secs(300))
-                    .strategy(strategy)
-                    .scenario_named("link-flap")
-                    .expect("link-flap is a builtin scenario")
-                    .rebuild_policy(policy)
-                    .event_queue(queue)
-                    .seed(42)
-                    .report();
-                assert_eq!(report.dynamics, "link-flap");
-                let observed = LinkFlapGolden {
-                    golden: observed(&report),
-                    requeued: report.requeued,
-                };
-                assert_eq!(
-                    observed,
-                    expected,
-                    "{} under {} rebuild / {} scheduler drifted from the link-flap goldens",
-                    strategy.label(),
-                    policy.name(),
-                    queue.name()
-                );
+                for layout in TableLayout::ALL {
+                    let report = Simulation::builder()
+                        .layered_mesh(LayeredMeshConfig::small())
+                        .ssd(20.0)
+                        .duration(Duration::from_secs(300))
+                        .strategy(strategy)
+                        .scenario_named("link-flap")
+                        .expect("link-flap is a builtin scenario")
+                        .rebuild_policy(policy)
+                        .event_queue(queue)
+                        .table_layout(layout)
+                        .seed(42)
+                        .report();
+                    assert_eq!(report.dynamics, "link-flap");
+                    let observed = LinkFlapGolden {
+                        golden: observed(&report),
+                        requeued: report.requeued,
+                    };
+                    assert_eq!(
+                        observed,
+                        expected,
+                        "{} under {} rebuild / {} scheduler / {} layout drifted from the \
+                         link-flap goldens",
+                        strategy.label(),
+                        policy.name(),
+                        queue.name(),
+                        layout.name()
+                    );
+                }
             }
+        }
+    }
+}
+
+/// Frozen seed-42 behaviour of the `chaos` scenario (churn + bursts + link
+/// failures — every dynamic table-maintenance path at once), pinned for a
+/// link-model strategy and a baseline. Like the tables above, these numbers
+/// came from the simulator itself; regenerate them in the same commit as any
+/// intended seed-behaviour change.
+#[derive(Debug, PartialEq, Eq)]
+struct ChaosGolden {
+    golden: Golden,
+    dropped_unsubscribed: u64,
+    requeued: u64,
+}
+
+fn chaos_golden_table() -> Vec<(StrategyKind, ChaosGolden)> {
+    vec![
+        (
+            StrategyKind::MaxEb,
+            ChaosGolden {
+                golden: Golden {
+                    published: 227,
+                    interested: 427,
+                    on_time: 344,
+                    late: 29,
+                    earning_milli: 690000,
+                    message_number: 608,
+                    transmissions: 383,
+                    dropped_expired: 31,
+                    dropped_unlikely: 10,
+                },
+                dropped_unsubscribed: 2,
+                requeued: 2,
+            },
+        ),
+        (
+            StrategyKind::Fifo,
+            ChaosGolden {
+                golden: Golden {
+                    published: 219,
+                    interested: 362,
+                    on_time: 301,
+                    late: 36,
+                    earning_milli: 596000,
+                    message_number: 564,
+                    transmissions: 347,
+                    dropped_expired: 19,
+                    dropped_unlikely: 0,
+                },
+                dropped_unsubscribed: 0,
+                requeued: 2,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn seed_42_chaos_metrics_are_pinned_under_both_table_layouts() {
+    // Chaos drives churn (shared-registry inserts/removals, queue
+    // stripping) interleaved with link rebuilds (aggregate patching) — the
+    // exact paths the sparse layout rewrites. Both layouts must reproduce
+    // the pinned metrics bit-for-bit.
+    use bdps::sim::TableLayout;
+    for (strategy, expected) in chaos_golden_table() {
+        for layout in TableLayout::ALL {
+            let report = Simulation::builder()
+                .layered_mesh(LayeredMeshConfig::small())
+                .ssd(20.0)
+                .duration(Duration::from_secs(300))
+                .strategy(strategy)
+                .scenario_named("chaos")
+                .expect("chaos is a builtin scenario")
+                .table_layout(layout)
+                .seed(42)
+                .report();
+            assert_eq!(report.dynamics, "chaos");
+            let observed = ChaosGolden {
+                golden: observed(&report),
+                dropped_unsubscribed: report.dropped_unsubscribed,
+                requeued: report.requeued,
+            };
+            assert_eq!(
+                observed,
+                expected,
+                "{} under the {} layout drifted from the chaos goldens",
+                strategy.label(),
+                layout.name()
+            );
         }
     }
 }

@@ -597,6 +597,168 @@ fn patched_tables_agree_with_fresh_routing() {
     });
 }
 
+/// The table-level oracle of the sparse covering-aggregated layout: for
+/// random topologies, subscription populations and interleaved churn +
+/// link-delta sequences, (a) a sparse table maintained *incrementally*
+/// (registry churn + `sync_aggregate` on exactly the changed destinations)
+/// equals a from-scratch sparse build, and (b) the sparse table expanded at
+/// edges resolves exactly the dense table's delivery set — same rows, same
+/// routed fields, for scoped and unscoped arrivals alike.
+#[test]
+fn sparse_tables_match_dense_and_incremental_matches_scratch() {
+    use bdps::overlay::sparse::{ResolvedEntry, SharedPopulation, SparseTable};
+    use bdps::overlay::subtable::SubscriptionTable;
+    use std::sync::{Arc, RwLock};
+
+    check(0x5AA5_E011, 20, |rng| {
+        let n = rng.uniform_usize(4, 9);
+        let mut topo_rng = SimRng::seed_from(rng.next_u64());
+        let topo = Topology::random_mesh(n, 3.0, &mut topo_rng, LinkQuality::paper_random);
+        let links = topo.graph.link_count();
+        let mut alive = vec![true; links];
+        let mut routing = Routing::compute(&topo.graph);
+
+        // Initial population on random edges.
+        let mut subs: Vec<(Subscription, BrokerId)> = Vec::new();
+        let mut next_id = 0u32;
+        let make_sub = |rng: &mut SimRng, next_id: &mut u32| {
+            let id = *next_id;
+            *next_id += 1;
+            (
+                Subscription::best_effort(
+                    SubscriptionId::new(id),
+                    SubscriberId::new(id),
+                    Filter::paper_conjunction(
+                        rng.uniform_range(0.0, 10.0),
+                        rng.uniform_range(0.0, 10.0),
+                    ),
+                ),
+                BrokerId::new(rng.uniform_usize(0, n) as u32),
+            )
+        };
+        for _ in 0..rng.uniform_usize(3, 15) {
+            subs.push(make_sub(rng, &mut next_id));
+        }
+
+        let population = Arc::new(RwLock::new(SharedPopulation::from_population(&subs)));
+        let mut sparse: Vec<SparseTable> = (0..n)
+            .map(|b| SparseTable::build(BrokerId::new(b as u32), &routing, &population))
+            .collect();
+
+        for _ in 0..rng.uniform_usize(2, 6) {
+            // One step: either a churn event or a link batch.
+            if rng.chance(0.5) || links == 0 {
+                if !subs.is_empty() && rng.chance(0.4) {
+                    // Leave: registry once, local strip at the edge, one
+                    // aggregate sync per broker.
+                    let victim = rng.uniform_usize(0, subs.len());
+                    let (sub, edge) = subs.remove(victim);
+                    population.write().unwrap().remove(sub.id);
+                    for table in sparse.iter_mut() {
+                        table.remove_local(sub.id);
+                        table.sync_aggregate(&routing, edge);
+                    }
+                } else {
+                    // Join: registry once, full entry only at the edge.
+                    let (sub, edge) = make_sub(rng, &mut next_id);
+                    population.write().unwrap().insert(sub.clone(), edge);
+                    for table in sparse.iter_mut() {
+                        if table.broker() == edge {
+                            table.insert_local(sub.clone());
+                        } else {
+                            table.sync_aggregate(&routing, edge);
+                        }
+                    }
+                    subs.push((sub, edge));
+                }
+            } else {
+                // A link batch: toggle a few links, patch exactly the
+                // changed (broker, destination) aggregates.
+                let mut removed = Vec::new();
+                let mut added = Vec::new();
+                let mut touched = std::collections::HashSet::new();
+                for _ in 0..rng.uniform_usize(1, 4) {
+                    let link = rng.uniform_usize(0, links);
+                    if !touched.insert(link) {
+                        continue;
+                    }
+                    alive[link] = !alive[link];
+                    if alive[link] {
+                        added.push(LinkId::new(link as u32));
+                    } else {
+                        removed.push(LinkId::new(link as u32));
+                    }
+                }
+                let delta = routing.update_for_link_change(
+                    &topo.graph,
+                    |l| alive[l.index()],
+                    &removed,
+                    &added,
+                );
+                for table in sparse.iter_mut() {
+                    for &dest in delta.changed_dests(table.broker()) {
+                        table.sync_aggregate(&routing, dest);
+                    }
+                }
+            }
+
+            // Oracle (a): incremental maintenance equals a from-scratch
+            // sparse build — locals, aggregates and routed fields alike.
+            for table in &sparse {
+                let scratch = SparseTable::build(table.broker(), &routing, &population);
+                assert_eq!(
+                    table.aggregates().collect::<Vec<_>>(),
+                    scratch.aggregates().collect::<Vec<_>>(),
+                    "incremental aggregates drifted at {}",
+                    table.broker()
+                );
+                assert_eq!(
+                    table.local().len(),
+                    scratch.local().len(),
+                    "local membership drifted at {}",
+                    table.broker()
+                );
+            }
+
+            // Oracle (b): the sparse table resolves exactly the dense
+            // table's delivery set.
+            let all_ids: Vec<SubscriptionId> = subs.iter().map(|(s, _)| s.id).collect();
+            let scope = ScopeSet::from_unsorted(all_ids);
+            for table in &sparse {
+                let dense = SubscriptionTable::build(table.broker(), &routing, &subs);
+                let mut resolved: Vec<ResolvedEntry> = Vec::new();
+                table.resolve_scope(&scope, |e| resolved.push(e));
+                let expected: Vec<ResolvedEntry> = scope
+                    .iter()
+                    .filter_map(|id| dense.entry(id).map(ResolvedEntry::from_entry))
+                    .collect();
+                assert_eq!(
+                    resolved,
+                    expected,
+                    "scoped resolution drifted at {}",
+                    table.broker()
+                );
+                // Unscoped matching (the covering-gated path) delivers the
+                // same rows in the same ascending order.
+                let h = head(rng.uniform_range(0.0, 10.0), rng.uniform_range(0.0, 10.0));
+                let via_sparse = table.matching_all(&h);
+                let mut via_dense: Vec<ResolvedEntry> = dense
+                    .matching(&h)
+                    .into_iter()
+                    .map(ResolvedEntry::from_entry)
+                    .collect();
+                via_dense.sort_unstable_by_key(|e| e.subscription);
+                assert_eq!(
+                    via_sparse,
+                    via_dense,
+                    "unscoped matching drifted at {}",
+                    table.broker()
+                );
+            }
+        }
+    });
+}
+
 /// Routing on random meshes is consistent and path statistics equal the
 /// sum of link means along the realised path.
 #[test]

@@ -20,6 +20,9 @@
 use bdps::prelude::*;
 use bdps::sim::sched::EventQueueKind;
 
+mod common;
+use common::{flap_storm, small_mesh_link_count};
+
 fn report(
     scenario: &DynamicScenario,
     policy: RebuildPolicy,
@@ -85,92 +88,11 @@ fn chaos_reports_are_policy_independent_on_seeds_1_to_10() {
     assert_policies_agree("chaos", 1..=10);
 }
 
-/// Builds the adversarial "flap storm": hundreds of seeded random link
-/// events, deliberately including same-instant floods, nested failures and
-/// unbalanced downs that leave links dead at the horizon.
-fn flap_storm(seed: u64, links: u32, horizon_secs: u64) -> DynamicScenario {
-    let mut rng = SimRng::seed_from(seed ^ 0xF1A9_5708);
-    let mut scenario = DynamicScenario::named("flap-storm");
-    let mut events = 0u32;
-    // Same-instant floods: at a handful of instants, toggle many links at
-    // once so the engine's coalescing (defer the rebuild to the batch's last
-    // link event) is exercised with mixed down/up batches.
-    for _ in 0..6 {
-        let at = Duration::from_secs(rng.uniform_usize(1, horizon_secs as usize) as u64);
-        for _ in 0..rng.uniform_usize(10, 30) {
-            let link = LinkId::new(rng.uniform_usize(0, links as usize) as u32);
-            let down = rng.chance(0.55);
-            scenario = scenario.at(
-                at,
-                if down {
-                    ScenarioAction::LinkDown { link }
-                } else {
-                    ScenarioAction::LinkUp { link }
-                },
-            );
-            events += 1;
-        }
-    }
-    // Nested failures: the same link downed 2-3 times, recovered one depth
-    // at a time at later instants (possibly never fully).
-    for _ in 0..10 {
-        let link = LinkId::new(rng.uniform_usize(0, links as usize) as u32);
-        let depth = rng.uniform_usize(2, 4);
-        let at = rng.uniform_usize(1, horizon_secs as usize);
-        for _ in 0..depth {
-            scenario = scenario.at(
-                Duration::from_secs(at as u64),
-                ScenarioAction::LinkDown { link },
-            );
-            events += 1;
-        }
-        let ups = rng.uniform_usize(0, depth + 1);
-        for k in 0..ups {
-            let later = at + rng.uniform_usize(1, 40) + k;
-            scenario = scenario.at(
-                Duration::from_secs(later.min(horizon_secs as usize) as u64),
-                ScenarioAction::LinkUp { link },
-            );
-            events += 1;
-        }
-    }
-    // A background of independent short flaps, some fully contained between
-    // two transfer completions.
-    for _ in 0..120 {
-        let link = LinkId::new(rng.uniform_usize(0, links as usize) as u32);
-        let at = rng.uniform_usize(1, horizon_secs as usize);
-        let up = at + rng.uniform_usize(1, 20);
-        scenario = scenario.at(
-            Duration::from_secs(at as u64),
-            ScenarioAction::LinkDown { link },
-        );
-        scenario = scenario.at(
-            Duration::from_secs(up.min(horizon_secs as usize) as u64),
-            ScenarioAction::LinkUp { link },
-        );
-        events += 2;
-    }
-    assert!(
-        events >= 300,
-        "the storm must be a storm, got {events} events"
-    );
-    scenario
-}
-
 #[test]
 fn flap_storm_is_policy_and_scheduler_independent() {
     // The small mesh has 68 directed links; the storm spans every policy ×
     // scheduler combination and every report must come out identical.
-    let links = {
-        let mut rng = SimRng::seed_from(1);
-        let topo = bdps::overlay::topology::Topology::layered_mesh(
-            &bdps::overlay::topology::LayeredMeshConfig::small(),
-            &mut rng,
-            bdps::net::link::LinkQuality::paper_random,
-        )
-        .unwrap();
-        topo.graph.link_count() as u32
-    };
+    let links = small_mesh_link_count();
     for seed in [3u64, 7, 11] {
         let storm = flap_storm(seed, links, 240);
         let reference = report(

@@ -20,6 +20,10 @@ fn mesh_10k() -> LayeredMeshConfig {
 }
 
 fn churn_10k(queue: EventQueueKind, seed: u64) -> SimulationOutcome {
+    churn_10k_layout(queue, seed, TableLayout::Dense)
+}
+
+fn churn_10k_layout(queue: EventQueueKind, seed: u64, layout: TableLayout) -> SimulationOutcome {
     Simulation::builder()
         .layered_mesh(mesh_10k())
         .ssd(6.0)
@@ -28,6 +32,7 @@ fn churn_10k(queue: EventQueueKind, seed: u64) -> SimulationOutcome {
         .scenario_named("churn")
         .expect("churn is a builtin scenario")
         .event_queue(queue)
+        .table_layout(layout)
         .seed(seed)
         .build()
         .run()
@@ -65,6 +70,36 @@ fn ten_thousand_subscriber_run_is_queue_independent() {
     let heap = churn_10k(EventQueueKind::BinaryHeap, 2);
     let calendar = churn_10k(EventQueueKind::Calendar, 2);
     assert_outcomes_identical(&heap, &calendar, "10k churn");
+}
+
+/// Sparse-vs-dense replay equivalence at 10k subscribers across both
+/// schedulers: the sparse covering-aggregated layout must reproduce the
+/// dense oracle's outcome bit-for-bit at a population where the dense table
+/// replicates 320k entries — and do it with a fraction of the table memory.
+#[cfg_attr(debug_assertions, ignore = "10k-subscriber run; release builds only")]
+#[test]
+fn ten_thousand_subscriber_sparse_layout_replays_the_dense_oracle() {
+    for queue in EventQueueKind::ALL {
+        let dense = churn_10k_layout(queue, 3, TableLayout::Dense);
+        let sparse = churn_10k_layout(queue, 3, TableLayout::Sparse);
+        assert_outcomes_identical(&dense, &sparse, &format!("10k churn ({queue:?})"));
+        assert_eq!(
+            dense.tracker.total_interested(),
+            sparse.tracker.total_interested()
+        );
+        assert!(sparse.aggregate_entries > 0);
+        assert_eq!(
+            sparse.expanded_at_edge(),
+            sparse.tracker.total_on_time() + sparse.tracker.total_late()
+        );
+        assert!(
+            sparse.table_bytes_estimate * 5 <= dense.table_bytes_estimate,
+            "sparse tables must be ≥5x smaller at 10k: {} vs {} bytes",
+            sparse.table_bytes_estimate,
+            dense.table_bytes_estimate
+        );
+        sparse.check_conservation().expect("copy conservation");
+    }
 }
 
 fn assert_outcomes_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
