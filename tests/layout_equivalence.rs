@@ -47,32 +47,29 @@ fn report(
 }
 
 /// Runs one scenario over a seed range and asserts dense-vs-sparse report
-/// equality under the default scheduler and rebuild policy.
+/// equality, crossed with both event schedulers and both rebuild policies
+/// (every combination must reproduce the dense report of the same
+/// scheduler × policy cell).
 fn assert_layouts_agree(scenario_name: &str, seeds: std::ops::RangeInclusive<u64>) {
     let registry = ScenarioRegistry::builtin();
     let scenario = registry
         .resolve(scenario_name)
         .unwrap_or_else(|| panic!("{scenario_name} is a builtin scenario"));
     for seed in seeds {
-        let dense = report(
-            &scenario,
-            TableLayout::Dense,
-            RebuildPolicy::default(),
-            EventQueueKind::Calendar,
-            seed,
-        );
-        let sparse = report(
-            &scenario,
-            TableLayout::Sparse,
-            RebuildPolicy::default(),
-            EventQueueKind::Calendar,
-            seed,
-        );
-        assert_eq!(
-            dense, sparse,
-            "sparse layout drifted from the dense-table oracle \
-             ({scenario_name}, seed {seed})"
-        );
+        for policy in RebuildPolicy::ALL {
+            for queue in EventQueueKind::ALL {
+                let dense = report(&scenario, TableLayout::Dense, policy, queue, seed);
+                let sparse = report(&scenario, TableLayout::Sparse, policy, queue, seed);
+                assert_eq!(
+                    dense,
+                    sparse,
+                    "sparse layout drifted from the dense-table oracle \
+                     ({scenario_name}, seed {seed}, {} policy, {} queue)",
+                    policy.name(),
+                    queue.name()
+                );
+            }
+        }
     }
 }
 
