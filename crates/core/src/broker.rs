@@ -18,7 +18,7 @@ use bdps_filter::scope::ScopeSet;
 use bdps_filter::subscription::Subscription;
 use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::routing::Routing;
-use bdps_overlay::sparse::{BrokerTable, ResolvedEntry, TableLayout};
+use bdps_overlay::sparse::{BrokerTable, PopulationHandle, ResolvedEntry, TableLayout};
 use bdps_overlay::subtable::{RetargetOutcome, SubTableEntry};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
 use bdps_types::message::Message;
@@ -175,6 +175,56 @@ impl BrokerState {
     /// Total number of queued message copies across all output queues.
     pub fn queued_total(&self) -> usize {
         self.queues.values().map(OutputQueue::len).sum()
+    }
+
+    /// Re-points a sparse table at a different shared-registry handle (no-op
+    /// under the dense layout). Used when a simulation is forked for model
+    /// checking: every cloned broker must reference the branch's own
+    /// deep-cloned registry (see [`bdps_overlay::sparse::SparseTable::set_population`]).
+    pub fn repoint_population(&mut self, population: &PopulationHandle) {
+        if let Some(t) = self.table.as_sparse_mut() {
+            t.set_population(population);
+        }
+    }
+
+    /// Hashes the broker's complete logical state — counters, table content
+    /// and the exact ordered contents of every output queue (neighbours in
+    /// ascending order) — into one `u64`, for the model-checking explorer's
+    /// state deduplication.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u32(self.id.raw());
+        let c = &self.counters;
+        for v in [
+            c.received,
+            c.enqueued,
+            c.sent,
+            c.dropped_expired,
+            c.dropped_unlikely,
+            c.dropped_unsubscribed,
+            c.requeued,
+            c.delivered_on_time,
+            c.delivered_late,
+            c.expanded_at_edge,
+        ] {
+            h.write_u64(v);
+        }
+        self.table.digest_into(&mut h);
+        for neighbor in self.neighbors() {
+            let q = &self.queues[&neighbor];
+            h.write_u32(neighbor.raw());
+            h.write_usize(q.len());
+            for item in q.items() {
+                h.write_u64(item.message.id.raw());
+                h.write_u64(item.enqueue_time.as_micros());
+                h.write_usize(item.targets.len());
+                for t in &item.targets {
+                    h.write_u32(t.subscription.raw());
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Processes an arriving message: local deliveries plus enqueueing one

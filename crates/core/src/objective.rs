@@ -35,7 +35,15 @@ pub struct ObjectiveTracker {
     /// link failures with requeues) could otherwise silently break.
     seen_pairs: HashSet<(MessageId, SubscriberId)>,
     duplicate_deliveries: u64,
+    /// The first few offending pairs (capped at
+    /// [`DUPLICATE_SAMPLE_CAP`]), so violation reports can name the exact
+    /// message/subscriber instead of only a count.
+    duplicate_pairs: Vec<(MessageId, SubscriberId)>,
 }
+
+/// How many duplicate (message, subscriber) pairs are retained verbatim for
+/// violation reports; beyond this only the count grows.
+const DUPLICATE_SAMPLE_CAP: usize = 8;
 
 impl ObjectiveTracker {
     /// Creates an empty tracker.
@@ -61,6 +69,9 @@ impl ObjectiveTracker {
     ) {
         if !self.seen_pairs.insert((message, subscriber)) {
             self.duplicate_deliveries += 1;
+            if self.duplicate_pairs.len() < DUPLICATE_SAMPLE_CAP {
+                self.duplicate_pairs.push((message, subscriber));
+            }
         }
         let stat = self.messages.entry(message).or_default();
         if on_time {
@@ -129,6 +140,49 @@ impl ObjectiveTracker {
         self.duplicate_deliveries
     }
 
+    /// The first few duplicated (message, subscriber) pairs, for
+    /// self-explaining violation reports; empty when the audit is clean.
+    pub fn duplicate_samples(&self) -> &[(MessageId, SubscriberId)] {
+        &self.duplicate_pairs
+    }
+
+    /// Hashes the tracker's complete delivery bookkeeping (message stats,
+    /// per-subscriber counts, earning, delay accumulators and the duplicate
+    /// audit) in deterministic sorted order, for the model-checking
+    /// explorer's state deduplication.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut msgs: Vec<(&MessageId, &MessageStat)> = self.messages.iter().collect();
+        msgs.sort_unstable_by_key(|(id, _)| **id);
+        h.write_usize(msgs.len());
+        for (id, stat) in msgs {
+            h.write_u64(id.raw());
+            h.write_u32(stat.interested);
+            h.write_u32(stat.delivered_on_time);
+            h.write_u32(stat.delivered_late);
+        }
+        let mut subs: Vec<(&SubscriberId, &u64)> = self.per_subscriber_valid.iter().collect();
+        subs.sort_unstable_by_key(|(s, _)| **s);
+        h.write_usize(subs.len());
+        for (s, n) in subs {
+            h.write_u32(s.raw());
+            h.write_u64(*n);
+        }
+        h.write_u64(self.total_earning.as_f64().to_bits());
+        h.write_u64(self.delay_sum_ms.to_bits());
+        h.write_u64(self.delay_count);
+        h.write_u64(self.duplicate_deliveries);
+        let mut pairs: Vec<&(MessageId, SubscriberId)> = self.seen_pairs.iter().collect();
+        pairs.sort_unstable();
+        h.write_usize(pairs.len());
+        for (m, s) in pairs {
+            h.write_u64(m.raw());
+            h.write_u32(s.raw());
+        }
+        h.finish()
+    }
+
     /// Mean end-to-end delay of on-time deliveries, in milliseconds.
     pub fn mean_valid_delay_ms(&self) -> f64 {
         if self.delay_count == 0 {
@@ -153,9 +207,17 @@ impl ObjectiveTracker {
         self.delay_sum_ms += other.delay_sum_ms;
         self.delay_count += other.delay_count;
         self.duplicate_deliveries += other.duplicate_deliveries;
+        for pair in &other.duplicate_pairs {
+            if self.duplicate_pairs.len() < DUPLICATE_SAMPLE_CAP {
+                self.duplicate_pairs.push(*pair);
+            }
+        }
         for pair in &other.seen_pairs {
             if !self.seen_pairs.insert(*pair) {
                 self.duplicate_deliveries += 1;
+                if self.duplicate_pairs.len() < DUPLICATE_SAMPLE_CAP {
+                    self.duplicate_pairs.push(*pair);
+                }
             }
         }
     }

@@ -130,7 +130,7 @@ const PURGE_INTERVAL: u64 = 4_096;
 /// message — collapse to `Arc` clones. Entries whose only reference is the
 /// pool itself are dropped every 4096 interns, keeping the
 /// pool proportional to the *live* scope population under churn.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScopeInterner {
     sets: HashSet<ScopeSet>,
     interns: u64,

@@ -137,7 +137,7 @@ impl EdgeGroup {
 /// one record per subscription plus one [`EdgeGroup`] (member list +
 /// covering forest) per edge broker. Stored once globally — this is the
 /// memory the dense layout replicates `brokers` times.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SharedPopulation {
     members: HashMap<SubscriptionId, MemberRecord>,
     by_edge: BTreeMap<BrokerId, EdgeGroup>,
@@ -209,6 +209,32 @@ impl SharedPopulation {
     /// Iterates `(edge broker, group)` in ascending broker order.
     pub fn groups(&self) -> impl Iterator<Item = (BrokerId, &EdgeGroup)> + '_ {
         self.by_edge.iter().map(|(b, g)| (*b, g))
+    }
+
+    /// Hashes the registry's membership — which subscriptions are attached
+    /// at which edge broker — into `h`, iterating the edge map in its sorted
+    /// order so the digest is deterministic. Filters are identified by
+    /// subscription id: within one run an id never changes its filter, so
+    /// membership pins the registry's full content. Used by the
+    /// model-checking explorer's state deduplication.
+    pub fn digest_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_usize(self.by_edge.len());
+        for (edge, group) in &self.by_edge {
+            h.write_u32(edge.raw());
+            h.write_usize(group.ids.len());
+            for id in &group.ids {
+                h.write_u32(id.raw());
+            }
+        }
+    }
+
+    /// The membership digest as one `u64` (see
+    /// [`digest_into`](Self::digest_into)).
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest_into(&mut h);
+        h.finish()
     }
 
     /// Rough bytes consumed by the registry (counted **once** globally,
@@ -396,6 +422,33 @@ impl SparseTable {
     /// The shared registry handle.
     pub fn population(&self) -> &PopulationHandle {
         &self.population
+    }
+
+    /// Re-points this table at a different registry handle. Used when a
+    /// simulation is forked for model checking: the branch deep-clones the
+    /// registry and every cloned broker table must reference the copy, not
+    /// the original, or branches would corrupt each other under churn.
+    pub fn set_population(&mut self, population: &PopulationHandle) {
+        self.population = Arc::clone(population);
+    }
+
+    /// Hashes the table's routed content — the local edge-expansion entries
+    /// plus every aggregate's routed fields and sizes, in ascending
+    /// destination order. The shared registry is digested separately by its
+    /// owner (one copy globally), not per broker.
+    pub fn digest_into(&self, h: &mut impl std::hash::Hasher) {
+        self.local.digest_into(h);
+        h.write_usize(self.aggregates.len());
+        for (dest, a) in &self.aggregates {
+            h.write_u32(dest.raw());
+            h.write_u32(a.next_hop.raw());
+            h.write_u32(a.next_link.raw());
+            h.write_u32(a.stats.downstream_brokers);
+            h.write_u64(a.stats.rate.mean().to_bits());
+            h.write_u64(a.stats.rate.variance().to_bits());
+            h.write_usize(a.members);
+            h.write_usize(a.cover_roots);
+        }
     }
 
     /// Adds a locally attached subscription's full entry (the edge half of a
@@ -629,6 +682,21 @@ impl BrokerTable {
         match self {
             BrokerTable::Sparse(t) => Some(t),
             BrokerTable::Dense(_) => None,
+        }
+    }
+
+    /// Hashes the table's routed content under either layout (see
+    /// [`SubscriptionTable::digest_into`] and [`SparseTable::digest_into`]).
+    pub fn digest_into(&self, h: &mut impl std::hash::Hasher) {
+        match self {
+            BrokerTable::Dense(t) => {
+                h.write_u8(0);
+                t.digest_into(h);
+            }
+            BrokerTable::Sparse(t) => {
+                h.write_u8(1);
+                t.digest_into(h);
+            }
         }
     }
 

@@ -110,6 +110,36 @@ impl SubscriptionTable {
         &self.entries
     }
 
+    /// Hashes the table's routed content — per subscription (in ascending id
+    /// order, independent of physical entry order): edge broker, next hop,
+    /// next link and path statistics. Two tables with equal digests route
+    /// identically; the model-checking explorer uses this for state
+    /// deduplication across branches whose maintenance histories differ.
+    pub fn digest_into(&self, h: &mut impl std::hash::Hasher) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&i| self.entries[i].subscription.id);
+        h.write_usize(order.len());
+        for i in order {
+            let e = &self.entries[i];
+            h.write_u32(e.subscription.id.raw());
+            h.write_u32(e.edge_broker.raw());
+            h.write_u32(e.next_hop.map_or(u32::MAX, |b| b.raw()));
+            h.write_u32(e.next_link.map_or(u32::MAX, |l| l.raw()));
+            h.write_u32(e.stats.downstream_brokers);
+            h.write_u64(e.stats.rate.mean().to_bits());
+            h.write_u64(e.stats.rate.variance().to_bits());
+        }
+    }
+
+    /// The routed-content digest as one `u64` (see
+    /// [`digest_into`](Self::digest_into)).
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest_into(&mut h);
+        h.finish()
+    }
+
     /// The entry for a subscription id, if present.
     pub fn entry(&self, id: SubscriptionId) -> Option<&SubTableEntry> {
         self.by_id.get(&id).map(|&i| &self.entries[i])

@@ -32,35 +32,55 @@ use bdps_filter::subscription::Subscription;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::routing::{RouteDelta, Routing};
-use bdps_overlay::sparse::{PopulationHandle, SharedPopulation, SparseTable, TableLayout};
+use bdps_overlay::sparse::{
+    BrokerTable, PopulationHandle, SharedPopulation, SparseTable, TableLayout,
+};
 use bdps_overlay::subtable::{RetargetOutcome, SubscriptionTable};
 use bdps_overlay::topology::Topology;
 use bdps_stats::rng::SimRng;
 use bdps_stats::summary::Summary;
-use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriptionId};
+use bdps_types::id::{BrokerId, LinkId, MessageId, PublisherId, SubscriberId, SubscriptionId};
 use bdps_types::message::Message;
 use bdps_types::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
 use crate::scenario::{DynamicScenario, ScenarioAction};
 use crate::sched::{EventQueue, EventQueueKind, Scheduled};
 use crate::workload::WorkloadConfig;
 
-enum EventKind {
+/// One kind of pending simulation event.
+///
+/// The engine itself never exposes events mid-run; this type is public so
+/// the model-checking explorer (`bdps-mc`) can hold a same-instant frontier
+/// taken with [`Simulation::take_frontier`], re-insert the unconsumed events
+/// with [`Simulation::push_back`] and apply a chosen one with
+/// [`Simulation::apply`]. Treat it as opaque outside those calls.
+#[derive(Clone)]
+pub enum EventKind {
     /// A publisher emits its next message. `gen` is the publisher's rate
     /// generation: a rate change bumps it, invalidating pending publications
     /// so the new rate takes effect immediately instead of after one more
     /// old-rate gap.
-    Publish { publisher: PublisherId, gen: u64 },
+    Publish {
+        /// The emitting publisher.
+        publisher: PublisherId,
+        /// The publisher's rate generation when this event was scheduled.
+        gen: u64,
+    },
     /// A broker finishes processing a received message copy. The scope — the
     /// interned set of subscription ids the copy serves, frozen at
     /// publication time — is an `Arc`-backed [`ScopeSet`], so every hop of
     /// every copy of a message shares one allocation.
     Process {
+        /// The broker whose processing module finishes.
         broker: BrokerId,
+        /// The processed message.
         message: Arc<Message>,
+        /// The subscription ids this copy serves.
         scope: ScopeSet,
     },
     /// A link finishes transmitting a message copy (targets included so the
@@ -70,12 +90,78 @@ enum EventKind {
     /// recovered before completion — the generation has moved on and the
     /// transfer is void.
     SendComplete {
+        /// The transmitting link.
         link: LinkId,
+        /// The copy in flight, targets included.
         queued: QueuedMessage,
+        /// The link's failure generation when the transfer started.
         gen: u64,
     },
     /// A scenario action fires.
-    Scenario { action: ScenarioAction },
+    Scenario {
+        /// The action.
+        action: ScenarioAction,
+    },
+}
+
+impl EventKind {
+    /// A short human-readable label identifying the event — used by the
+    /// model-checking explorer to render branch choices in counterexample
+    /// traces (`publish:p0`, `process:b2:m5`, `send:l3:m5`,
+    /// `scenario:link-down:l1`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::Publish { publisher, .. } => format!("publish:p{}", publisher.index()),
+            EventKind::Process {
+                broker, message, ..
+            } => {
+                format!("process:b{}:m{}", broker.index(), message.id.raw())
+            }
+            EventKind::SendComplete { link, queued, .. } => {
+                format!("send:l{}:m{}", link.index(), queued.message.id.raw())
+            }
+            EventKind::Scenario { action } => format!("scenario:{}", action.label()),
+        }
+    }
+
+    /// Hashes the event's logical content (ignoring scheduling sequence
+    /// numbers) into `h` — the per-event ingredient of
+    /// [`Simulation::state_digest`].
+    fn digest_into(&self, h: &mut impl Hasher) {
+        match self {
+            EventKind::Publish { publisher, gen } => {
+                h.write_u8(1);
+                h.write_u32(publisher.raw());
+                h.write_u64(*gen);
+            }
+            EventKind::Process {
+                broker,
+                message,
+                scope,
+            } => {
+                h.write_u8(2);
+                h.write_u32(broker.raw());
+                h.write_u64(message.id.raw());
+                for id in scope.iter() {
+                    h.write_u32(id.raw());
+                }
+            }
+            EventKind::SendComplete { link, queued, gen } => {
+                h.write_u8(3);
+                h.write_u32(link.raw());
+                h.write_u64(queued.message.id.raw());
+                h.write_u64(*gen);
+                h.write_u64(queued.enqueue_time.as_micros());
+                for t in &queued.targets {
+                    h.write_u32(t.subscription.raw());
+                }
+            }
+            EventKind::Scenario { action } => {
+                h.write_u8(4);
+                h.write(action.label().as_bytes());
+            }
+        }
+    }
 }
 
 /// How the simulator brings routing and subscription tables back in line
@@ -281,8 +367,8 @@ impl SimulationOutcome {
         self.broker_counters.iter().map(|c| c.sent).sum()
     }
 
-    /// Checks the copy-conservation invariants and returns an error message
-    /// describing the first violated one, if any. Two balances must hold at
+    /// Checks the copy-conservation invariants and returns a structured
+    /// report of the first violated one, if any. Two balances must hold at
     /// the end of every run, static or dynamic:
     ///
     /// 1. **Queue balance** — every copy put into an output queue (enqueued
@@ -290,7 +376,7 @@ impl SimulationOutcome {
     ///    unsubscribed) or is still queued;
     /// 2. **Transfer balance** — every transmission either completed,
     ///    was requeued after a link failure, or is still in flight.
-    pub fn check_conservation(&self) -> Result<(), String> {
+    pub fn check_conservation(&self) -> Result<(), ConservationViolation> {
         let inserted = self.enqueued() + self.requeued();
         let removed = self.sent()
             + self.dropped_expired()
@@ -298,26 +384,124 @@ impl SimulationOutcome {
             + self.dropped_unsubscribed()
             + self.queued_at_end;
         if inserted != removed {
-            return Err(format!(
-                "queue balance violated: enqueued {} + requeued {} != sent {} + dropped {} + queued_at_end {}",
-                self.enqueued(),
-                self.requeued(),
-                self.sent(),
-                self.dropped_expired() + self.dropped_unlikely() + self.dropped_unsubscribed(),
-                self.queued_at_end
-            ));
+            return Err(ConservationViolation {
+                balance: ConservationBalance::Queue,
+                inserted,
+                removed,
+                terms: vec![
+                    ("enqueued", self.enqueued()),
+                    ("requeued", self.requeued()),
+                    ("sent", self.sent()),
+                    ("dropped_expired", self.dropped_expired()),
+                    ("dropped_unlikely", self.dropped_unlikely()),
+                    ("dropped_unsubscribed", self.dropped_unsubscribed()),
+                    ("queued_at_end", self.queued_at_end),
+                ],
+            });
         }
         let transfers = self.completed_transfers + self.requeued() + self.in_flight_at_end;
         if self.transmissions != transfers {
-            return Err(format!(
-                "transfer balance violated: transmissions {} != completed {} + requeued {} + in_flight {}",
-                self.transmissions,
-                self.completed_transfers,
-                self.requeued(),
-                self.in_flight_at_end
-            ));
+            return Err(ConservationViolation {
+                balance: ConservationBalance::Transfer,
+                inserted: self.transmissions,
+                removed: transfers,
+                terms: vec![
+                    ("transmissions", self.transmissions),
+                    ("completed_transfers", self.completed_transfers),
+                    ("requeued", self.requeued()),
+                    ("in_flight_at_end", self.in_flight_at_end),
+                ],
+            });
         }
         Ok(())
+    }
+
+    /// Checks the no-duplicate-delivery audit: every (message, subscriber)
+    /// pair was delivered at most once. Returns a structured report naming
+    /// the offending pairs (up to the tracker's sample cap) on violation.
+    pub fn check_no_duplicates(&self) -> Result<(), DuplicateDeliveryViolation> {
+        let count = self.tracker.duplicate_deliveries();
+        if count == 0 {
+            return Ok(());
+        }
+        Err(DuplicateDeliveryViolation {
+            count,
+            samples: self.tracker.duplicate_samples().to_vec(),
+        })
+    }
+}
+
+/// Which conservation balance a [`ConservationViolation`] broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConservationBalance {
+    /// Copies inserted into output queues vs copies leaving them.
+    Queue,
+    /// Transmissions started vs transfers completed / requeued / in flight.
+    Transfer,
+}
+
+impl ConservationBalance {
+    /// Stable report name (`"queue"` / `"transfer"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConservationBalance::Queue => "queue",
+            ConservationBalance::Transfer => "transfer",
+        }
+    }
+}
+
+/// A violated copy-conservation balance, with the counters behind it —
+/// self-explaining in test failures and machine-readable in model-checking
+/// counterexample traces (see `bdps-mc`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConservationViolation {
+    /// Which balance broke.
+    pub balance: ConservationBalance,
+    /// The insertion side of the balance (what went in / started).
+    pub inserted: u64,
+    /// The removal side of the balance (where every copy must be accounted).
+    pub removed: u64,
+    /// Every counter contributing to the balance, by name — the full
+    /// breakdown, so a report never needs re-deriving from the outcome.
+    pub terms: Vec<(&'static str, u64)>,
+}
+
+impl fmt::Display for ConservationViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} balance violated: {} inserted != {} accounted (",
+            self.balance.name(),
+            self.inserted,
+            self.removed
+        )?;
+        for (i, (name, value)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} {value}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A violated no-duplicate-delivery audit: at least one (message,
+/// subscriber) pair was delivered more than once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DuplicateDeliveryViolation {
+    /// Total duplicate deliveries recorded.
+    pub count: u64,
+    /// The first few offending (message, subscriber) pairs.
+    pub samples: Vec<(MessageId, SubscriberId)>,
+}
+
+impl fmt::Display for DuplicateDeliveryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} duplicate deliveries (first pairs:", self.count)?;
+        for (m, s) in &self.samples {
+            write!(f, " {m}->{s}")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -366,6 +550,9 @@ pub struct Simulation {
     scheduler: SchedulerConfig,
     rng: SimRng,
     events: Box<dyn EventQueue<EventKind>>,
+    /// Which scheduler implementation `events` is — kept so [`fork`](Self::fork)
+    /// can rebuild an identical queue for the branch.
+    queue_kind: EventQueueKind,
     seq: u64,
     events_processed: u64,
     peak_pending_events: usize,
@@ -390,6 +577,68 @@ pub struct Simulation {
     /// generations are ignored when popped.
     publish_gen: Vec<u64>,
     phases: Vec<PhaseOutcome>,
+    /// Deliberately broken invariant, if armed (see [`InjectedFault`]).
+    /// `None` keeps behaviour bit-identical to a build without the feature.
+    #[cfg(feature = "fault-injection")]
+    injected_fault: Option<InjectedFault>,
+}
+
+/// A deliberately broken protocol invariant, compiled in only under the
+/// `fault-injection` feature and armed via [`Simulation::inject_fault`].
+///
+/// The faults recreate the *classes* of the two historical oracle-found bugs
+/// so the model-checking explorer (`bdps-mc`) can prove it detects real
+/// violations: a conservation break (copies vanishing) and a duplicate
+/// delivery. An unarmed build behaves bit-identically to one without the
+/// feature.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A transfer voided by a link failure silently drops its copy instead
+    /// of requeueing it — breaking the transfer-balance conservation law
+    /// (the historical flap-voiding bug class).
+    VoidedTransferVanishes,
+    /// Every local delivery is recorded twice — breaking the
+    /// no-duplicate-delivery audit.
+    DoubleDelivery,
+}
+
+/// Compares a broker's live dense (or sparse-local) table against a
+/// from-scratch rebuild, reporting the first divergent entry. Entries are
+/// matched by subscription id; the routed fields (edge broker, next hop,
+/// next link, path statistics) must agree exactly.
+fn compare_dense_tables(
+    broker: BrokerId,
+    live: &SubscriptionTable,
+    fresh: &SubscriptionTable,
+) -> Result<(), String> {
+    if live.len() != fresh.len() {
+        return Err(format!(
+            "broker {broker} table holds {} entries, scratch rebuild has {}",
+            live.len(),
+            fresh.len()
+        ));
+    }
+    for e in fresh.entries() {
+        let id = e.subscription.id;
+        let Some(l) = live.entry(id) else {
+            return Err(format!(
+                "broker {broker} table is missing entry {id} present in a scratch rebuild"
+            ));
+        };
+        if l.edge_broker != e.edge_broker
+            || l.next_hop != e.next_hop
+            || l.next_link != e.next_link
+            || l.stats != e.stats
+        {
+            return Err(format!(
+                "broker {broker} entry {id} drifted from the scratch rebuild: \
+                 live (edge {}, hop {:?}, link {:?}) vs fresh (edge {}, hop {:?}, link {:?})",
+                l.edge_broker, l.next_hop, l.next_link, e.edge_broker, e.next_hop, e.next_link
+            ));
+        }
+    }
+    Ok(())
 }
 
 impl Simulation {
@@ -543,6 +792,7 @@ impl Simulation {
             scheduler,
             rng,
             events: EventQueueKind::default().create(),
+            queue_kind: EventQueueKind::default(),
             seq: 0,
             events_processed: 0,
             peak_pending_events: 0,
@@ -560,6 +810,8 @@ impl Simulation {
             rate_multiplier: vec![1.0; publisher_slots],
             publish_gen: vec![0; publisher_slots],
             phases: vec![PhaseOutcome::new("run".into(), SimTime::ZERO)],
+            #[cfg(feature = "fault-injection")]
+            injected_fault: None,
         };
 
         // Scenario events first so that, at equal times, a scenario action
@@ -598,6 +850,7 @@ impl Simulation {
             replacement.push(event);
         }
         self.events = replacement;
+        self.queue_kind = kind;
         self
     }
 
@@ -734,26 +987,94 @@ impl Simulation {
     /// Runs the simulation to completion and returns the outcome.
     pub fn run(mut self) -> SimulationOutcome {
         self.build_brokers();
-        let hard_stop = self.end + self.drain_grace;
-        while let Some(entry) = self.events.pop_if_at_or_before(hard_stop) {
-            self.now = entry.time;
-            self.events_processed += 1;
-            match entry.item {
-                EventKind::Publish { publisher, gen } => {
-                    self.on_publish(publisher, gen, entry.time)
-                }
-                EventKind::Process {
-                    broker,
-                    message,
-                    scope,
-                } => self.on_process(broker, message, scope, entry.time),
-                EventKind::SendComplete { link, queued, gen } => {
-                    self.on_send_complete(link, queued, gen, entry.time)
-                }
-                EventKind::Scenario { action } => self.on_scenario(action, entry.time),
-            }
-        }
+        let hard_stop = self.hard_stop();
+        while self.step_next(hard_stop) {}
+        self.into_outcome()
+    }
 
+    /// The time past which [`run`](Self::run) stops popping events: the end
+    /// of the publication period plus the drain grace.
+    pub fn hard_stop(&self) -> SimTime {
+        self.end + self.drain_grace
+    }
+
+    /// The current simulation time (the time of the last applied event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The time of the earliest pending event at or before `limit`, if any.
+    pub fn peek_next_time(&self, limit: SimTime) -> Option<SimTime> {
+        self.events.peek().map(|(t, _)| t).filter(|&t| t <= limit)
+    }
+
+    /// Pops and applies the next event if it is at or before `limit`.
+    /// Returns false when nothing was applied (run over, or the next event
+    /// is past the limit). The run loop is exactly `while self.step_next(..)`.
+    pub fn step_next(&mut self, limit: SimTime) -> bool {
+        match self.events.pop_if_at_or_before(limit) {
+            Some(entry) => {
+                self.apply(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every pending event scheduled at the earliest pending time at
+    /// or before `limit` — the *same-instant frontier*, in deterministic
+    /// `(time, seq)` order (the order the plain run loop would process them
+    /// in). The model-checking explorer branches here: each frontier
+    /// permutation is a distinct legal interleaving. Events not chosen for
+    /// [`apply`](Self::apply) must be re-inserted with
+    /// [`push_back`](Self::push_back).
+    ///
+    /// Requires [`prepare`](Self::prepare) (or a prior event) so broker
+    /// state exists before the first frontier is taken.
+    pub fn take_frontier(&mut self, limit: SimTime) -> Vec<Scheduled<EventKind>> {
+        self.build_brokers();
+        self.events.take_frontier(limit)
+    }
+
+    /// Re-inserts an event taken with [`take_frontier`](Self::take_frontier)
+    /// without assigning a new sequence number, so the deterministic
+    /// `(time, seq)` order among the re-inserted events is preserved.
+    pub fn push_back(&mut self, event: Scheduled<EventKind>) {
+        self.events.push(event);
+    }
+
+    /// Applies one event: advances the clock to the event's time and runs
+    /// its handler, scheduling any follow-up events. This is the engine's
+    /// single step; [`run`](Self::run) is a loop of these, and the
+    /// model-checking explorer calls it directly with events chosen from a
+    /// [`take_frontier`](Self::take_frontier) batch.
+    pub fn apply(&mut self, entry: Scheduled<EventKind>) {
+        debug_assert!(entry.time >= self.now, "events must not run backwards");
+        self.now = entry.time;
+        self.events_processed += 1;
+        match entry.item {
+            EventKind::Publish { publisher, gen } => self.on_publish(publisher, gen, entry.time),
+            EventKind::Process {
+                broker,
+                message,
+                scope,
+            } => self.on_process(broker, message, scope, entry.time),
+            EventKind::SendComplete { link, queued, gen } => {
+                self.on_send_complete(link, queued, gen, entry.time)
+            }
+            EventKind::Scenario { action } => self.on_scenario(action, entry.time),
+        }
+    }
+
+    /// Computes the end-of-run outcome from the current state without
+    /// consuming the simulation — the explorer snapshots outcomes at
+    /// quiescence while keeping the state for further checks.
+    pub fn outcome_snapshot(&self) -> SimulationOutcome {
         // End-of-run accounting for the conservation invariants: whatever is
         // left in the event queue is either in flight on a link or inside a
         // broker's processing module; whatever sits in output queues is
@@ -766,7 +1087,7 @@ impl Simulation {
             EventKind::Process { .. } => pending_process_at_end += 1,
             _ => {}
         });
-        let mut phases = self.phases;
+        let mut phases = self.phases.clone();
         for i in 0..phases.len() {
             phases[i].end = if i + 1 < phases.len() {
                 phases[i + 1].start
@@ -792,12 +1113,12 @@ impl Simulation {
                 .unwrap_or(0);
 
         SimulationOutcome {
-            tracker: self.tracker,
+            tracker: self.tracker.clone(),
             broker_counters: self.brokers.iter().map(|b| b.counters).collect(),
             published: self.published,
             transmissions: self.transmissions,
             completed_transfers: self.completed_transfers,
-            valid_delays_ms: self.valid_delays_ms,
+            valid_delays_ms: self.valid_delays_ms.clone(),
             finished_at: self.now,
             queued_at_end,
             in_flight_at_end,
@@ -812,6 +1133,207 @@ impl Simulation {
             aggregate_entries,
             table_bytes_estimate,
         }
+    }
+
+    /// Consumes the simulation and returns the outcome (the tail of
+    /// [`run`](Self::run)).
+    pub fn into_outcome(self) -> SimulationOutcome {
+        self.outcome_snapshot()
+    }
+
+    /// Deep-clones the simulation into an independent branch: every piece of
+    /// mutable state — broker tables and queues, the event set, the RNG, the
+    /// objective tracker, and (under the sparse layout) the shared
+    /// population registry — is copied, so stepping the branch can never
+    /// perturb the original. This is the branching primitive of the
+    /// model-checking explorer.
+    pub fn fork(&self) -> Simulation {
+        let mut brokers = self.brokers.clone();
+        // The sparse layout shares one population registry behind an
+        // `Arc<RwLock>`; a branch must get its own deep copy, and every
+        // cloned broker table must be re-pointed at it.
+        let population = self.population.as_ref().map(|p| {
+            Arc::new(RwLock::new(p.read().expect("population lock").clone())) as PopulationHandle
+        });
+        if let Some(pop) = &population {
+            for b in &mut brokers {
+                b.repoint_population(pop);
+            }
+        }
+        let mut events = self.queue_kind.create();
+        self.events.for_each(&mut |e| events.push(e.clone()));
+        Simulation {
+            topology: self.topology.clone(),
+            brokers,
+            subscriptions: self.subscriptions.clone(),
+            global_index: self.global_index.clone(),
+            believed_graph: self.believed_graph.clone(),
+            routing: self.routing.clone(),
+            link_busy: self.link_busy.clone(),
+            link_down_depth: self.link_down_depth.clone(),
+            link_fail_gen: self.link_fail_gen.clone(),
+            routing_dirty: self.routing_dirty,
+            dirty_links: self.dirty_links.clone(),
+            link_dirty: self.link_dirty.clone(),
+            link_alive_at_rebuild: self.link_alive_at_rebuild.clone(),
+            rebuild_policy: self.rebuild_policy,
+            table_layout: self.table_layout,
+            population,
+            brokers_built: self.brokers_built,
+            tables_rebuilt_full: self.tables_rebuilt_full,
+            entries_retargeted: self.entries_retargeted,
+            link_of: self.link_of.clone(),
+            workload: self.workload.clone(),
+            scheduler: self.scheduler.clone(),
+            rng: self.rng.clone(),
+            events,
+            queue_kind: self.queue_kind,
+            seq: self.seq,
+            events_processed: self.events_processed,
+            peak_pending_events: self.peak_pending_events,
+            scope_interner: self.scope_interner.clone(),
+            scope_scratch: Vec::new(),
+            next_message: self.next_message,
+            end: self.end,
+            drain_grace: self.drain_grace,
+            tracker: self.tracker.clone(),
+            published: self.published,
+            transmissions: self.transmissions,
+            completed_transfers: self.completed_transfers,
+            valid_delays_ms: self.valid_delays_ms.clone(),
+            now: self.now,
+            rate_multiplier: self.rate_multiplier.clone(),
+            publish_gen: self.publish_gen.clone(),
+            phases: self.phases.clone(),
+            #[cfg(feature = "fault-injection")]
+            injected_fault: self.injected_fault,
+        }
+    }
+
+    /// Hashes the complete *logical* state of the simulation — clock,
+    /// pending events (ignoring scheduling sequence numbers), broker
+    /// counters, queues and tables, link liveness, RNG stream position and
+    /// objective bookkeeping — into one `u64`. Two states with equal digests
+    /// behave identically under any same-instant frontier permutation, which
+    /// is what lets the model-checking explorer deduplicate branches that
+    /// converge after commuting events.
+    ///
+    /// Sequence numbers are deliberately excluded: the explorer enumerates
+    /// every frontier permutation anyway, so the relative seq order of
+    /// same-instant events never narrows the set of explored behaviours.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u64(self.now.as_micros());
+        h.write_u64(self.next_message);
+        h.write_u64(self.published);
+        h.write_u64(self.transmissions);
+        h.write_u64(self.completed_transfers);
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        // Pending events as a sorted multiset of (time, content digest).
+        let mut pending: Vec<(u64, u64)> = Vec::with_capacity(self.events.len());
+        self.events.for_each(&mut |e| {
+            let mut eh = std::collections::hash_map::DefaultHasher::new();
+            e.item.digest_into(&mut eh);
+            pending.push((e.time.as_micros(), eh.finish()));
+        });
+        pending.sort_unstable();
+        h.write_usize(pending.len());
+        for (t, d) in pending {
+            h.write_u64(t);
+            h.write_u64(d);
+        }
+        // Link state.
+        for (i, busy) in self.link_busy.iter().enumerate() {
+            h.write_u8(*busy as u8);
+            h.write_u32(self.link_down_depth[i]);
+            h.write_u64(self.link_fail_gen[i]);
+            h.write_u8(self.link_alive_at_rebuild[i] as u8);
+        }
+        h.write_u8(self.routing_dirty as u8);
+        // Brokers: counters, queues and tables.
+        for b in &self.brokers {
+            h.write_u64(b.state_digest());
+        }
+        if let Some(pop) = &self.population {
+            h.write_u64(pop.read().expect("population lock").state_digest());
+        }
+        // Population membership (the dense layout has no registry).
+        h.write_usize(self.subscriptions.len());
+        for (sub, edge) in &self.subscriptions {
+            h.write_u32(sub.id.raw());
+            h.write_u32(edge.raw());
+        }
+        h.write_u64(self.tracker.state_digest());
+        h.finish()
+    }
+
+    /// Verifies that routing and every broker's subscription table agree
+    /// with a from-scratch rebuild — the table/routing-consistency invariant
+    /// the model checker asserts in every interleaving.
+    ///
+    /// The reference point is the link liveness **as of the last rebuild**
+    /// (`link_alive_at_rebuild`): while a coalesced same-instant link batch
+    /// is still in flight the engine intentionally defers the rebuild, so
+    /// tables lag the instantaneous liveness but must always equal what a
+    /// scratch rebuild at the last-rebuilt liveness produces.
+    pub fn audit_tables(&self) -> Result<(), String> {
+        let alive = &self.link_alive_at_rebuild;
+        let fresh_routing = Routing::compute_filtered(&self.believed_graph, |l| alive[l.index()]);
+        if fresh_routing != self.routing {
+            return Err(
+                "routing disagrees with a from-scratch recompute at the last-rebuilt liveness"
+                    .to_string(),
+            );
+        }
+        for broker in &self.brokers {
+            match broker.table() {
+                BrokerTable::Dense(table) => {
+                    let fresh =
+                        SubscriptionTable::build(broker.id, &self.routing, &self.subscriptions);
+                    compare_dense_tables(broker.id, table, &fresh)?;
+                }
+                BrokerTable::Sparse(table) => {
+                    let fresh = SparseTable::build(broker.id, &self.routing, table.population());
+                    compare_dense_tables(broker.id, table.local(), fresh.local())?;
+                    let current: Vec<_> = table.aggregates().collect();
+                    let rebuilt: Vec<_> = fresh.aggregates().collect();
+                    if current.len() != rebuilt.len() {
+                        return Err(format!(
+                            "broker {} holds {} aggregates, scratch rebuild has {}",
+                            broker.id,
+                            current.len(),
+                            rebuilt.len()
+                        ));
+                    }
+                    for ((dest_a, a), (dest_b, b)) in current.iter().zip(rebuilt.iter()) {
+                        if dest_a != dest_b || a != b {
+                            return Err(format!(
+                                "broker {} aggregate for {} drifted from the scratch rebuild",
+                                broker.id, dest_a
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total duplicate deliveries recorded so far (the mid-run view of the
+    /// audit behind [`SimulationOutcome::check_no_duplicates`]).
+    pub fn duplicate_deliveries_so_far(&self) -> u64 {
+        self.tracker.duplicate_deliveries()
+    }
+
+    /// Arms a deliberately broken invariant, proving the model-checking
+    /// explorer catches real violations (see `bdps-mc`'s fault-injection
+    /// suite). Compiled only with the `fault-injection` feature; without the
+    /// fault armed, behaviour is untouched.
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_fault(&mut self, fault: InjectedFault) {
+        self.injected_fault = Some(fault);
     }
 
     fn on_publish(&mut self, publisher: PublisherId, gen: u64, time: SimTime) {
@@ -868,6 +1390,13 @@ impl Simulation {
         for d in &outcome.local {
             self.tracker
                 .record_delivery(message.id, d.subscriber, d.price, d.delay, d.on_time);
+            #[cfg(feature = "fault-injection")]
+            if self.injected_fault == Some(InjectedFault::DoubleDelivery) {
+                // Deliberately record the delivery a second time — the
+                // duplicate audit must flag this in every interleaving.
+                self.tracker
+                    .record_delivery(message.id, d.subscriber, d.price, d.delay, d.on_time);
+            }
             let phase = self.phases.last_mut().expect("at least one phase");
             if d.on_time {
                 phase.on_time += 1;
@@ -889,6 +1418,12 @@ impl Simulation {
         };
         self.link_busy[link.index()] = false;
         if !self.link_alive(link) || gen != self.link_fail_gen[link.index()] {
+            #[cfg(feature = "fault-injection")]
+            if self.injected_fault == Some(InjectedFault::VoidedTransferVanishes) {
+                // Deliberately drop the voided copy instead of requeueing it
+                // — the transfer-balance conservation law must flag this.
+                return;
+            }
             // The link died while the copy was in flight (possibly flapping
             // back up before completion — the generation check catches that
             // case): the transfer is void and the copy goes back into the

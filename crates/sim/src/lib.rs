@@ -38,7 +38,12 @@ pub mod workload;
 
 pub use bdps_overlay::sparse::TableLayout;
 pub use builder::SimulationBuilder;
-pub use engine::{PhaseOutcome, RebuildPolicy, Simulation, SimulationOutcome};
+#[cfg(feature = "fault-injection")]
+pub use engine::InjectedFault;
+pub use engine::{
+    ConservationBalance, ConservationViolation, DuplicateDeliveryViolation, PhaseOutcome,
+    RebuildPolicy, Simulation, SimulationOutcome,
+};
 pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
 pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};

@@ -82,6 +82,34 @@ pub enum ScenarioAction {
     },
 }
 
+impl ScenarioAction {
+    /// A short stable label identifying the action — used in event labels and
+    /// state digests by the model-checking explorer (`join:f3@b1`,
+    /// `leave:f3`, `rate:p0:2`, `rate:all:0.5`, `link-down:l2`, `link-up:l2`,
+    /// `phase:<label>`).
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioAction::SubscriptionJoin {
+                subscription,
+                broker,
+            } => format!("join:f{}@b{}", subscription.id.index(), broker.index()),
+            ScenarioAction::SubscriptionLeave { subscription } => {
+                format!("leave:f{}", subscription.index())
+            }
+            ScenarioAction::PublisherRate {
+                publisher,
+                multiplier,
+            } => match publisher {
+                Some(p) => format!("rate:p{}:{}", p.index(), multiplier),
+                None => format!("rate:all:{}", multiplier),
+            },
+            ScenarioAction::LinkDown { link } => format!("link-down:l{}", link.index()),
+            ScenarioAction::LinkUp { link } => format!("link-up:l{}", link.index()),
+            ScenarioAction::PhaseMark { label } => format!("phase:{}", label),
+        }
+    }
+}
+
 /// A [`ScenarioAction`] scheduled at an offset from the start of the run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioEvent {

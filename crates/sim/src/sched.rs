@@ -78,6 +78,19 @@ pub trait EventQueue<T> {
     /// Visits every pending event in unspecified order (end-of-run
     /// accounting of in-flight work).
     fn for_each(&self, f: &mut dyn FnMut(&Scheduled<T>));
+
+    /// Removes and returns **every** event scheduled at the earliest pending
+    /// time — the *same-instant frontier* — in ascending `seq` order. Returns
+    /// an empty vector when the queue is empty or the earliest event is after
+    /// `limit`.
+    ///
+    /// This is the branching primitive of the model-checking explorer
+    /// (`bdps-mc`): the events of one frontier are exactly the events whose
+    /// relative order the `(time, seq)` tie-break decides arbitrarily, so a
+    /// bounded exhaustive search replays every permutation of each frontier.
+    /// Callers re-insert unconsumed frontier events with
+    /// [`push`](Self::push), preserving their original `seq`.
+    fn take_frontier(&mut self, limit: SimTime) -> Vec<Scheduled<T>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +163,20 @@ impl<T> EventQueue<T> for BinaryHeapQueue<T> {
         for e in self.heap.iter() {
             f(&e.0);
         }
+    }
+
+    fn take_frontier(&mut self, limit: SimTime) -> Vec<Scheduled<T>> {
+        let mut frontier = Vec::new();
+        let Some((head, _)) = self.peek() else {
+            return frontier;
+        };
+        if head > limit {
+            return frontier;
+        }
+        while let Some(e) = self.pop_if_at_or_before(head) {
+            frontier.push(e);
+        }
+        frontier
     }
 }
 
@@ -384,6 +411,23 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
             }
         }
     }
+
+    fn take_frontier(&mut self, limit: SimTime) -> Vec<Scheduled<T>> {
+        let mut frontier = Vec::new();
+        let Some((head, _)) = self.peek() else {
+            return frontier;
+        };
+        if head > limit {
+            return frontier;
+        }
+        // Same-instant events hash into the same day and buckets are kept
+        // sorted, so after the first pop locates the day the rest of the
+        // frontier drains from the front of one bucket.
+        while let Some(e) = self.pop_if_at_or_before(head) {
+            frontier.push(e);
+        }
+        frontier
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -608,6 +652,48 @@ mod tests {
         assert_eq!(q.pop().unwrap().seq, 2);
         assert_eq!(q.pop().unwrap().seq, 1, "direct search must find the tail");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn take_frontier_returns_all_same_instant_events_in_seq_order() {
+        for kind in EventQueueKind::ALL {
+            let mut q = kind.create::<u64>();
+            q.push(ev(100, 3));
+            q.push(ev(100, 1));
+            q.push(ev(200, 2));
+            q.push(ev(100, 4));
+            let frontier = q.take_frontier(SimTime::MAX);
+            assert_eq!(
+                frontier.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                vec![1, 3, 4],
+                "{}",
+                kind.name()
+            );
+            assert!(frontier.iter().all(|e| e.time.as_micros() == 100));
+            assert_eq!(q.len(), 1, "{}", kind.name());
+            // Re-inserting with the original seq restores the pop order.
+            for e in frontier {
+                q.push(e);
+            }
+            assert_eq!(q.pop().unwrap().seq, 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn take_frontier_respects_the_limit_and_empty_queue() {
+        for kind in EventQueueKind::ALL {
+            let mut q = kind.create::<u64>();
+            assert!(q.take_frontier(SimTime::MAX).is_empty(), "{}", kind.name());
+            q.push(ev(500, 1));
+            assert!(
+                q.take_frontier(SimTime::from_micros(499)).is_empty(),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.take_frontier(SimTime::from_micros(500)).len(), 1);
+            assert!(q.is_empty(), "{}", kind.name());
+        }
     }
 
     #[test]

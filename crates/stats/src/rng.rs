@@ -61,6 +61,14 @@ impl SimRng {
         self.seed
     }
 
+    /// The current internal state words — the generator's exact stream
+    /// position. Used by the model-checking explorer to include RNG
+    /// progression in its state digests, so two branches only deduplicate
+    /// when their futures draw identical random values.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.state
+    }
+
     /// Derives an independent child RNG for the given stream index.
     ///
     /// Uses the SplitMix64 finaliser over `seed ⊕ golden-ratio·(index+1)`,
