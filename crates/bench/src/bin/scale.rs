@@ -13,8 +13,13 @@
 //! [--populations 160,992,10000] [--queues heap,calendar]
 //! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
 //! [--rebuild-policy full|incremental] [--table-layout dense,sparse]
-//! [--out BENCH_scale.json]
+//! [--shards 1,2,8] [--out BENCH_scale.json]
 //! [--check bench/baseline.json] [--max-regression 0.25]`.
+//!
+//! `--shards N` with `N > 1` runs the conservative time-window executor
+//! (`bdps_sim::shard`) instead of the sequential loop; shard counts are
+//! part of each cell's baseline key, so sharded and sequential cells are
+//! never gated against each other.
 //!
 //! With `--check <baseline>`, every cell present in the baseline is compared
 //! by events/sec and the process exits non-zero when any regresses by more
@@ -31,7 +36,7 @@ use std::time::Instant;
 
 const SCALE_FLAGS_HELP: &str = "--quick | --populations <n,n,..> | --queues <heap,calendar> \
      | --rebuild-policy <full|incremental> | --table-layout <dense,sparse> \
-     | --passes <n> | --out <path> \
+     | --shards <1,2,..> | --passes <n> | --out <path> \
      | --check <baseline.json> | --max-regression <frac>";
 
 /// Default populations of the full sweep (paper mesh: multiples of the 16
@@ -47,6 +52,7 @@ struct ScaleOptions {
     queues: Vec<EventQueueKind>,
     rebuild_policy: RebuildPolicy,
     layouts: Vec<TableLayout>,
+    shards: Vec<usize>,
     out: String,
     check: Option<String>,
     max_regression: f64,
@@ -64,6 +70,7 @@ impl ScaleOptions {
             queues: EventQueueKind::ALL.to_vec(),
             rebuild_policy: RebuildPolicy::default(),
             layouts: TableLayout::ALL.to_vec(),
+            shards: vec![1],
             out: "BENCH_scale.json".to_string(),
             check: None,
             max_regression: 0.25,
@@ -115,6 +122,18 @@ impl ScaleOptions {
                                 TableLayout::from_name(name).ok_or_else(|| {
                                     format!("unknown table layout {name:?}; known: dense, sparse")
                                 })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--shards" => {
+                        opts.shards = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|v| {
+                                v.parse::<usize>()
+                                    .ok()
+                                    .filter(|&n| n >= 1)
+                                    .ok_or_else(|| format!("--shards got invalid count {v:?}"))
                             })
                             .collect::<Result<_, _>>()?;
                     }
@@ -173,6 +192,7 @@ struct Cell {
     strategy: String,
     rebuild_policy: RebuildPolicy,
     table_layout: TableLayout,
+    shards: usize,
     duration_secs: u64,
     build_secs: f64,
     wall_secs: f64,
@@ -193,12 +213,13 @@ struct Cell {
 impl Cell {
     fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/s{}",
             self.population,
             self.scenario,
             self.queue,
             self.rebuild_policy.name(),
-            self.table_layout.name()
+            self.table_layout.name(),
+            self.shards
         )
     }
 
@@ -206,7 +227,7 @@ impl Cell {
         format!(
             "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
              \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"table_layout\": \"{}\", \
-             \"duration_secs\": {}, \"build_secs\": {:.3}, \
+             \"shards\": {}, \"duration_secs\": {}, \"build_secs\": {:.3}, \
              \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
              \"scope_interns\": {}, \"scope_intern_hits\": {}, \
@@ -219,6 +240,7 @@ impl Cell {
             self.strategy,
             self.rebuild_policy.name(),
             self.table_layout.name(),
+            self.shards,
             self.duration_secs,
             self.build_secs,
             self.wall_secs,
@@ -271,6 +293,7 @@ fn run_cell(
     scenario: &DynamicScenario,
     queue: EventQueueKind,
     layout: TableLayout,
+    shards: usize,
     strategy: &bdps_core::strategy::StrategyHandle,
 ) -> Cell {
     let (mesh, actual_population) = mesh_for(population);
@@ -291,7 +314,11 @@ fn run_cell(
         let sim = builder.build();
         let build_secs = build_start.elapsed().as_secs_f64();
         let run_start = Instant::now();
-        let outcome = sim.run();
+        let outcome = if shards > 1 {
+            bdps_sim::run_sharded(sim, shards)
+        } else {
+            sim.run()
+        };
         let wall_secs = run_start.elapsed().as_secs_f64();
         let cell = Cell {
             population: actual_population,
@@ -300,6 +327,7 @@ fn run_cell(
             strategy: strategy.label().to_string(),
             rebuild_policy: opts.rebuild_policy,
             table_layout: layout,
+            shards,
             duration_secs,
             build_secs,
             wall_secs,
@@ -352,12 +380,12 @@ fn extract(line: &str, key: &str) -> Option<String> {
     }
 }
 
-/// `(population/scenario/queue/policy/layout, events_per_sec)` pairs from a
-/// baseline file. The rebuild policy and table layout are part of the key
-/// so a full-policy or sparse-layout run is never gated against baselines
-/// measured under the other mode (their events/sec are not comparable);
-/// baselines from before an axis existed default to its historical value
-/// ("incremental" / "dense").
+/// `(population/scenario/queue/policy/layout/shards, events_per_sec)` pairs
+/// from a baseline file. The rebuild policy, table layout and shard count
+/// are part of the key so a full-policy, sparse-layout or multi-shard run
+/// is never gated against baselines measured under another mode (their
+/// events/sec are not comparable); baselines from before an axis existed
+/// default to its historical value ("incremental" / "dense" / 1 shard).
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter(|line| line.contains("\"population\""))
@@ -368,9 +396,10 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             let policy =
                 extract(line, "rebuild_policy").unwrap_or_else(|| "incremental".to_string());
             let layout = extract(line, "table_layout").unwrap_or_else(|| "dense".to_string());
+            let shards = extract(line, "shards").unwrap_or_else(|| "1".to_string());
             let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
             Some((
-                format!("{population}/{scenario}/{queue}/{policy}/{layout}"),
+                format!("{population}/{scenario}/{queue}/{policy}/{layout}/s{shards}"),
                 eps,
             ))
         })
@@ -448,11 +477,13 @@ fn main() {
     let opts = ScaleOptions::from_args();
     println!(
         "# Scale — engine throughput vs subscriber population\n\n\
-         populations: {:?}, queues: {:?}, rebuild policy: {}, layouts: {:?}, seed: {}\n",
+         populations: {:?}, queues: {:?}, rebuild policy: {}, layouts: {:?}, \
+         shards: {:?}, seed: {}\n",
         opts.populations,
         opts.queues.iter().map(|q| q.name()).collect::<Vec<_>>(),
         opts.rebuild_policy.name(),
         opts.layouts.iter().map(|l| l.name()).collect::<Vec<_>>(),
+        opts.shards,
         opts.common.seed
     );
 
@@ -500,13 +531,16 @@ fn main() {
             }
             for &queue in &opts.queues {
                 for &layout in &opts.layouts {
-                    let cell = run_cell(&opts, population, scenario, queue, layout, strategy);
-                    println!(
-                        "- {:>7} subs · {:<11} · {:<8} · {:<6}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
+                    for &shards in &opts.shards {
+                        let cell =
+                            run_cell(&opts, population, scenario, queue, layout, shards, strategy);
+                        println!(
+                        "- {:>7} subs · {:<11} · {:<8} · {:<6} · s{}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
                         cell.population,
                         cell.scenario,
                         cell.queue.name(),
                         cell.table_layout.name(),
+                        cell.shards,
                         cell.events_per_sec,
                         cell.events,
                         cell.wall_secs,
@@ -517,7 +551,8 @@ fn main() {
                         cell.aggregate_entries,
                         cell.table_bytes_estimate as f64 / 1e6,
                     );
-                    cells.push(cell);
+                        cells.push(cell);
+                    }
                 }
             }
         }
@@ -536,6 +571,7 @@ fn main() {
                             && c.scenario == scenario.name
                             && c.queue == queue
                             && c.table_layout == layout
+                            && c.shards == opts.shards[0]
                     })
                 };
                 if let (Some(heap), Some(calendar)) = (
@@ -571,6 +607,63 @@ fn main() {
         );
     }
 
+    // The parallel headline: events/sec per shard count relative to the
+    // sequential loop, per (population, scenario). On a single-core host
+    // this mostly measures the executor's coordination overhead; real
+    // speedups need as many cores as shards.
+    if opts.shards.len() > 1 {
+        println!("\n## events/sec by shard count (speedup vs 1 shard)\n");
+        let scaling_queue = opts.queues[0];
+        let scaling_layout = opts.layouts[0];
+        let mut rows = Vec::new();
+        for &population in &opts.populations {
+            let (_, actual) = mesh_for(population);
+            for scenario in &scenarios {
+                let find = |shards: usize| {
+                    cells.iter().find(|c| {
+                        c.population == actual
+                            && c.scenario == scenario.name
+                            && c.queue == scaling_queue
+                            && c.table_layout == scaling_layout
+                            && c.shards == shards
+                    })
+                };
+                let Some(base) = find(1) else { continue };
+                for &shards in &opts.shards {
+                    if shards == 1 {
+                        continue;
+                    }
+                    if let Some(cell) = find(shards) {
+                        rows.push(vec![
+                            format!("{actual}"),
+                            scenario.name.clone(),
+                            format!("{shards}"),
+                            format!("{:.0}", base.events_per_sec),
+                            format!("{:.0}", cell.events_per_sec),
+                            format!("{:.2}x", cell.events_per_sec / base.events_per_sec),
+                        ]);
+                    }
+                }
+            }
+        }
+        if !rows.is_empty() {
+            println!(
+                "{}",
+                render_markdown_table(
+                    &[
+                        "population",
+                        "scenario",
+                        "shards",
+                        "1-shard ev/s",
+                        "sharded ev/s",
+                        "speedup"
+                    ],
+                    &rows
+                )
+            );
+        }
+    }
+
     // The memory headline: dense-vs-sparse table bytes per (population,
     // scenario) — the axis the sparse layout exists for.
     if opts.layouts.contains(&TableLayout::Dense) && opts.layouts.contains(&TableLayout::Sparse) {
@@ -588,6 +681,7 @@ fn main() {
                             && c.scenario == scenario.name
                             && c.queue == memory_queue
                             && c.table_layout == layout
+                            && c.shards == opts.shards[0]
                     })
                 };
                 if let (Some(dense), Some(sparse)) =

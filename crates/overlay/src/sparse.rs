@@ -260,6 +260,22 @@ impl SharedPopulation {
 /// simulation owns its own registry).
 pub type PopulationHandle = Arc<RwLock<SharedPopulation>>;
 
+/// Read-locks the shared registry, recovering from poisoning.
+///
+/// The registry's writers (`insert`/`remove` behind the engine's churn
+/// path) never unwind mid-mutation: both mutate the member map and the
+/// edge-group map through ordinary collection operations whose only
+/// panic sources precede the first mutation. A poisoned lock therefore
+/// means *some other* panic unwound while a guard was held — typically a
+/// sibling sweep cell sharing nothing but the allocator — and the data
+/// behind the lock is still consistent, so read paths recover the guard
+/// instead of turning one failure into a cascade. Write paths must not
+/// use this: they surface a structured error instead (see
+/// `bdps_sim::SimError::PopulationPoisoned`).
+pub fn read_population(p: &PopulationHandle) -> std::sync::RwLockReadGuard<'_, SharedPopulation> {
+    p.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Approximate per-entry bookkeeping overhead of a hash-map slot.
 const HASH_SLOT_OVERHEAD: usize = 48;
 /// Approximate per-member overhead of a covering-forest node (filter handle,
@@ -379,7 +395,7 @@ impl SparseTable {
             population: Arc::clone(population),
         };
         {
-            let pop = population.read().expect("population lock");
+            let pop = read_population(population);
             let mut locals = Vec::new();
             if let Some(group) = pop.group(broker) {
                 for &id in group.ids() {
@@ -482,7 +498,7 @@ impl SparseTable {
             return outcome; // locals carry no route and never move
         }
         let group_sizes = {
-            let pop = self.population.read().expect("population lock");
+            let pop = read_population(&self.population);
             pop.group(dest).map(|g| (g.len(), g.forest().root_count()))
         };
         match (group_sizes, routing.route(self.broker, dest)) {
@@ -508,7 +524,7 @@ impl SparseTable {
     /// full rebuild policy and by mass liveness transitions.
     pub fn rebuild_aggregates(&mut self, routing: &Routing) {
         self.aggregates.clear();
-        let pop = self.population.read().expect("population lock");
+        let pop = read_population(&self.population);
         for (dest, group) in pop.groups() {
             if dest == self.broker {
                 continue;
@@ -530,7 +546,7 @@ impl SparseTable {
     /// broker is unreachable, is skipped — exactly the rows the dense table
     /// would not hold.
     pub fn resolve_scope(&self, scope: &ScopeSet, mut f: impl FnMut(ResolvedEntry)) {
-        let pop = self.population.read().expect("population lock");
+        let pop = read_population(&self.population);
         for id in scope.iter() {
             if let Some(e) = self.local.entry(id) {
                 f(ResolvedEntry::from_entry(e));
@@ -560,7 +576,7 @@ impl SparseTable {
     /// missed), and only when a cover matches are the member filters
     /// consulted, so a head matching no member is never delivered.
     pub fn matching_all(&self, head: &MessageHead) -> Vec<ResolvedEntry> {
-        let pop = self.population.read().expect("population lock");
+        let pop = read_population(&self.population);
         let mut out: Vec<ResolvedEntry> = self
             .local
             .matching(head)

@@ -65,6 +65,7 @@ pub struct SimulationBuilder {
     event_queue: EventQueueKind,
     rebuild_policy: RebuildPolicy,
     table_layout: TableLayout,
+    shards: usize,
 }
 
 impl Default for SimulationBuilder {
@@ -82,6 +83,7 @@ impl Default for SimulationBuilder {
             event_queue: EventQueueKind::default(),
             rebuild_policy: RebuildPolicy::default(),
             table_layout: TableLayout::default(),
+            shards: 1,
         }
     }
 }
@@ -108,6 +110,7 @@ impl SimulationBuilder {
             event_queue: config.event_queue,
             rebuild_policy: config.rebuild_policy,
             table_layout: config.table_layout,
+            shards: config.shards,
         }
     }
 
@@ -287,6 +290,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets how many broker shards advance the event loop (default 1, the
+    /// sequential reference loop). With `n > 1` the run uses the
+    /// conservative time-window executor ([`crate::shard`]) on `n` worker
+    /// threads; every shard count produces a bit-identical report.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
     /// Materialises the run as a serialisable [`SimulationConfig`] (the form
     /// sweeps and experiment binaries pass around).
     pub fn build_config(&self) -> SimulationConfig {
@@ -310,6 +322,7 @@ impl SimulationBuilder {
             event_queue: self.event_queue,
             rebuild_policy: self.rebuild_policy,
             table_layout: self.table_layout,
+            shards: self.shards,
         }
     }
 
@@ -350,7 +363,12 @@ impl SimulationBuilder {
     /// [`SimulationReport`].
     pub fn report(&self) -> SimulationReport {
         let config = self.build_config();
-        let outcome = self.build().run();
+        let sim = self.build();
+        let outcome = if self.shards > 1 {
+            crate::shard::run_sharded(sim, self.shards)
+        } else {
+            sim.run()
+        };
         SimulationReport::from_outcome(
             &outcome,
             &config.scheduler.strategy,

@@ -52,6 +52,122 @@ use crate::scenario::{DynamicScenario, ScenarioAction};
 use crate::sched::{EventQueue, EventQueueKind, Scheduled};
 use crate::workload::WorkloadConfig;
 
+/// Canonical, partition-independent event keys.
+///
+/// [`Scheduled::seq`] is not a global insertion counter but a key derived
+/// from the event's *content*, so the total `(time, key)` order is the same
+/// no matter which shard scheduled the event — the property that makes the
+/// sharded executor ([`crate::shard`]) bit-identical to the sequential loop.
+/// Layout: the event rank in the top two bits (scenario < publish < process
+/// < send at equal times, so scenario actions always apply before traffic at
+/// the same instant), discriminating content in the low bits.
+///
+/// Uniqueness among pending events at one instant:
+/// * **scenario** — the materialization index is globally unique;
+/// * **publish** — at most one publication is pending per
+///   (publisher, rate generation);
+/// * **process** — `via` names the delivering link (or 0 for the
+///   publisher-side hand-off), a link completes one transfer at a time and a
+///   local hand-off is a fresh message, so `(via, message)` never repeats at
+///   an instant;
+/// * **send** — a link carries at most one in-flight transfer (`link_busy`).
+pub(crate) mod key {
+    use bdps_types::id::{LinkId, MessageId, PublisherId};
+
+    /// Publisher index bits inside a [`MessageId`] (the counter gets the
+    /// low 29 bits, the publisher the bits above).
+    const MESSAGE_COUNTER_BITS: u32 = 29;
+    /// Low-bit width of the message discriminator inside process/send keys:
+    /// 12 publisher bits + 29 counter bits.
+    const MESSAGE_BITS: u32 = 41;
+
+    /// Most publisher slots the key layout supports (12 bits).
+    pub(crate) const MAX_PUBLISHER_SLOTS: usize = 1 << 12;
+    /// Most links the key layout supports (21 bits, minus the hand-off
+    /// sentinel).
+    pub(crate) const MAX_LINKS: usize = (1 << 21) - 1;
+
+    /// The per-publisher message id: publisher index in the high bits,
+    /// per-publisher counter in the low bits. Partition-independent — a
+    /// publisher mints the same ids whichever shard it is homed to.
+    pub(crate) fn message_id(publisher: PublisherId, counter: u64) -> MessageId {
+        debug_assert!(publisher.index() < MAX_PUBLISHER_SLOTS);
+        assert!(
+            counter < 1 << MESSAGE_COUNTER_BITS,
+            "per-publisher message counter overflowed the canonical key layout"
+        );
+        MessageId::new(((publisher.index() as u64) << MESSAGE_COUNTER_BITS) | counter)
+    }
+
+    /// Key of a scenario event: its materialization index (rank 0).
+    pub(crate) fn scenario(index: u64) -> u64 {
+        debug_assert!(index < 1 << 62);
+        index
+    }
+
+    /// Key of a publication event (rank 1).
+    pub(crate) fn publish(publisher: PublisherId, gen: u64) -> u64 {
+        debug_assert!(gen < 1 << 40, "rate generation overflowed the key layout");
+        (1 << 62) | ((publisher.index() as u64) << 40) | gen
+    }
+
+    /// Key of a processing-done event (rank 2). `via` is the link that
+    /// delivered the copy, or `None` for the publisher-side hand-off.
+    pub(crate) fn process(via: Option<LinkId>, message: MessageId) -> u64 {
+        let via = via.map(|l| l.index() as u64 + 1).unwrap_or(0);
+        debug_assert!(via <= MAX_LINKS as u64);
+        debug_assert!(message.raw() < 1 << MESSAGE_BITS);
+        (2 << 62) | (via << MESSAGE_BITS) | message.raw()
+    }
+
+    /// Key of a transfer-complete event (rank 3).
+    pub(crate) fn send(link: LinkId, message: MessageId) -> u64 {
+        debug_assert!(message.raw() < 1 << MESSAGE_BITS);
+        (3 << 62) | ((link.index() as u64) << MESSAGE_BITS) | message.raw()
+    }
+}
+
+/// A structured, recoverable simulation failure.
+///
+/// The engine used to turn a poisoned population lock into a second panic
+/// (`.expect("population lock")`), so one panicking `sweep` worker cascaded
+/// into every sibling cell sharing the registry. Read paths now recover the
+/// guard ([`bdps_overlay::sparse::read_population`]); write paths — where a
+/// half-applied churn action could leave the registry inconsistent — surface
+/// this error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The shared population registry's write lock was poisoned by a panic
+    /// in another thread; the pending mutation was not applied.
+    PopulationPoisoned {
+        /// Which mutation was abandoned.
+        during: &'static str,
+    },
+    /// A shard worker thread panicked mid-window (sharded executor only).
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+        /// The payload of the worker's panic.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PopulationPoisoned { during } => write!(
+                f,
+                "population registry lock poisoned during {during}; mutation abandoned"
+            ),
+            SimError::WorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// One kind of pending simulation event.
 ///
 /// The engine itself never exposes events mid-run; this type is public so
@@ -507,22 +623,22 @@ impl fmt::Display for DuplicateDeliveryViolation {
 
 /// A fully constructed simulation, ready to [`run`](Simulation::run).
 pub struct Simulation {
-    topology: Topology,
-    brokers: Vec<BrokerState>,
+    pub(crate) topology: Topology,
+    pub(crate) brokers: Vec<BrokerState>,
     subscriptions: Vec<(Subscription, BrokerId)>,
-    global_index: MatchIndex,
+    pub(crate) global_index: MatchIndex,
     /// The graph the schedulers and routing believe in (identical to the true
     /// graph unless an estimation error is configured). Kept so routing can
     /// be recomputed when links fail or recover.
     believed_graph: OverlayGraph,
     routing: Routing,
-    link_busy: Vec<bool>,
+    pub(crate) link_busy: Vec<bool>,
     /// Nested failure depth per link; a link is alive iff its depth is 0.
-    link_down_depth: Vec<u32>,
+    pub(crate) link_down_depth: Vec<u32>,
     /// Failure generation per link, bumped on every `LinkDown`; a transfer
     /// whose start generation differs at completion was interrupted by a
     /// failure (even one that already recovered) and is void.
-    link_fail_gen: Vec<u64>,
+    pub(crate) link_fail_gen: Vec<u64>,
     /// Set when link liveness changed since the last routing rebuild.
     routing_dirty: bool,
     /// Links whose liveness toggled since the last rebuild (deduplicated via
@@ -545,38 +661,48 @@ pub struct Simulation {
     brokers_built: bool,
     tables_rebuilt_full: u64,
     entries_retargeted: u64,
-    link_of: Vec<Vec<Option<LinkId>>>,
-    workload: WorkloadConfig,
-    scheduler: SchedulerConfig,
+    pub(crate) link_of: Vec<Vec<Option<LinkId>>>,
+    pub(crate) workload: WorkloadConfig,
+    pub(crate) scheduler: SchedulerConfig,
     rng: SimRng,
-    events: Box<dyn EventQueue<EventKind>>,
+    /// Per-publisher RNG streams (publication gaps and message content) and
+    /// per-link streams (transfer-time sampling). Each stream has exactly
+    /// one owner entity, so the draw sequence it produces depends only on
+    /// the seed and that entity's own event history — never on how events of
+    /// *other* entities interleave. This is what lets the sharded executor
+    /// replay the sequential run bit-for-bit: a shard owns its entities'
+    /// streams outright.
+    pub(crate) publisher_rng: Vec<SimRng>,
+    pub(crate) link_rng: Vec<SimRng>,
+    pub(crate) events: Box<dyn EventQueue<EventKind> + Send>,
     /// Which scheduler implementation `events` is — kept so [`fork`](Self::fork)
     /// can rebuild an identical queue for the branch.
-    queue_kind: EventQueueKind,
-    seq: u64,
-    events_processed: u64,
-    peak_pending_events: usize,
+    pub(crate) queue_kind: EventQueueKind,
+    pub(crate) events_processed: u64,
+    pub(crate) peak_pending_events: usize,
     /// Hash-consing pool for copy scopes; all copies of one message (and all
     /// messages matching the same population subset) share one allocation.
     scope_interner: ScopeInterner,
     /// Scratch id buffer reused across events so scope construction does not
     /// allocate on the hot path.
     scope_scratch: Vec<SubscriptionId>,
-    next_message: u64,
-    end: SimTime,
+    /// Per-publisher message counters ([`key::message_id`] combines the
+    /// publisher index and counter into the partition-independent id).
+    pub(crate) next_message: Vec<u64>,
+    pub(crate) end: SimTime,
     drain_grace: Duration,
-    tracker: ObjectiveTracker,
-    published: u64,
-    transmissions: u64,
-    completed_transfers: u64,
-    valid_delays_ms: Summary,
-    now: SimTime,
+    pub(crate) tracker: ObjectiveTracker,
+    pub(crate) published: u64,
+    pub(crate) transmissions: u64,
+    pub(crate) completed_transfers: u64,
+    pub(crate) valid_delays_ms: Summary,
+    pub(crate) now: SimTime,
     /// Per-publisher rate multiplier (scenario-controlled; 1.0 = base rate).
-    rate_multiplier: Vec<f64>,
+    pub(crate) rate_multiplier: Vec<f64>,
     /// Per-publisher rate generation; pending publish events from older
     /// generations are ignored when popped.
-    publish_gen: Vec<u64>,
-    phases: Vec<PhaseOutcome>,
+    pub(crate) publish_gen: Vec<u64>,
+    pub(crate) phases: Vec<PhaseOutcome>,
     /// Deliberately broken invariant, if armed (see [`InjectedFault`]).
     /// `None` keeps behaviour bit-identical to a build without the feature.
     #[cfg(feature = "fault-injection")]
@@ -765,6 +891,30 @@ impl Simulation {
             .map(|(p, _)| p.index() + 1)
             .max()
             .unwrap_or(0);
+        assert!(
+            publisher_slots <= key::MAX_PUBLISHER_SLOTS,
+            "canonical event keys support at most {} publisher slots",
+            key::MAX_PUBLISHER_SLOTS
+        );
+        assert!(
+            topology.graph.link_count() <= key::MAX_LINKS,
+            "canonical event keys support at most {} links",
+            key::MAX_LINKS
+        );
+
+        // One independent, seed-derived RNG stream per publisher and per
+        // link (`SimRng::split` derives from the seed alone, so the streams
+        // are fixed the moment the seed is). Distinct tag bases keep them
+        // disjoint from the builder's topology/sim splits (0, 1) and the
+        // scenario stream (0x5CE7_A210).
+        const PUBLISHER_STREAM_BASE: u64 = 0x70B1_0000_0000;
+        const LINK_STREAM_BASE: u64 = 0x114B_0000_0000;
+        let publisher_rng: Vec<SimRng> = (0..publisher_slots)
+            .map(|i| rng.split(PUBLISHER_STREAM_BASE + i as u64))
+            .collect();
+        let link_rng: Vec<SimRng> = (0..topology.graph.link_count())
+            .map(|i| rng.split(LINK_STREAM_BASE + i as u64))
+            .collect();
 
         let end = SimTime::ZERO + workload.duration;
         let mut sim = Simulation {
@@ -791,14 +941,15 @@ impl Simulation {
             workload,
             scheduler,
             rng,
+            publisher_rng,
+            link_rng,
             events: EventQueueKind::default().create(),
             queue_kind: EventQueueKind::default(),
-            seq: 0,
             events_processed: 0,
             peak_pending_events: 0,
             scope_interner: ScopeInterner::new(),
             scope_scratch: Vec::new(),
-            next_message: 0,
+            next_message: vec![0; publisher_slots],
             end,
             drain_grace: Duration::from_secs(120),
             tracker: ObjectiveTracker::new(),
@@ -814,11 +965,12 @@ impl Simulation {
             injected_fault: None,
         };
 
-        // Scenario events first so that, at equal times, a scenario action
-        // applies before publications and transfers scheduled later.
-        for ev in scenario_events {
+        // Scenario keys rank lowest, so at equal times a scenario action
+        // applies before publications and transfers.
+        for (idx, ev) in scenario_events.into_iter().enumerate() {
             sim.push_event(
                 SimTime::ZERO + ev.at,
+                key::scenario(idx as u64),
                 EventKind::Scenario { action: ev.action },
             );
         }
@@ -888,7 +1040,7 @@ impl Simulation {
         self
     }
 
-    fn build_brokers(&mut self) {
+    pub(crate) fn build_brokers(&mut self) {
         if self.brokers_built {
             return;
         }
@@ -947,11 +1099,10 @@ impl Simulation {
         &self.scheduler
     }
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind) {
-        self.seq += 1;
+    fn push_event(&mut self, time: SimTime, key: u64, kind: EventKind) {
         self.events.push(Scheduled {
             time,
-            seq: self.seq,
+            seq: key,
             item: kind,
         });
         self.peak_pending_events = self.peak_pending_events.max(self.events.len());
@@ -961,14 +1112,18 @@ impl Simulation {
         let multiplier = self.rate_multiplier[publisher.index()];
         let Some(gap) = self
             .workload
-            .next_publication_gap_scaled(multiplier, &mut self.rng)
+            .next_publication_gap_scaled(multiplier, &mut self.publisher_rng[publisher.index()])
         else {
             return; // zero effective publishing rate: the chain goes dormant
         };
         let t = after + gap;
         if t < self.end {
             let gen = self.publish_gen[publisher.index()];
-            self.push_event(t, EventKind::Publish { publisher, gen });
+            self.push_event(
+                t,
+                key::publish(publisher, gen),
+                EventKind::Publish { publisher, gen },
+            );
         }
     }
 
@@ -984,12 +1139,26 @@ impl Simulation {
         self.phases.last_mut().expect("at least one phase")
     }
 
-    /// Runs the simulation to completion and returns the outcome.
-    pub fn run(mut self) -> SimulationOutcome {
+    /// Runs the simulation to completion and returns the outcome, panicking
+    /// on the (thread-environment-only) failures [`try_run`](Self::try_run)
+    /// surfaces as [`SimError`].
+    pub fn run(self) -> SimulationOutcome {
+        match self.try_run() {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion, surfacing structured
+    /// [`SimError`]s (e.g. a population registry lock poisoned by a sibling
+    /// thread) instead of panicking.
+    pub fn try_run(mut self) -> Result<SimulationOutcome, SimError> {
         self.build_brokers();
         let hard_stop = self.hard_stop();
-        while self.step_next(hard_stop) {}
-        self.into_outcome()
+        while let Some(entry) = self.events.pop_if_at_or_before(hard_stop) {
+            self.try_apply(entry)?;
+        }
+        Ok(self.into_outcome())
     }
 
     /// The time past which [`run`](Self::run) stops popping events: the end
@@ -1054,6 +1223,14 @@ impl Simulation {
     /// model-checking explorer calls it directly with events chosen from a
     /// [`take_frontier`](Self::take_frontier) batch.
     pub fn apply(&mut self, entry: Scheduled<EventKind>) {
+        if let Err(e) = self.try_apply(entry) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`apply`](Self::apply), but surfaces structured [`SimError`]s
+    /// instead of panicking.
+    pub fn try_apply(&mut self, entry: Scheduled<EventKind>) -> Result<(), SimError> {
         debug_assert!(entry.time >= self.now, "events must not run backwards");
         self.now = entry.time;
         self.events_processed += 1;
@@ -1067,8 +1244,9 @@ impl Simulation {
             EventKind::SendComplete { link, queued, gen } => {
                 self.on_send_complete(link, queued, gen, entry.time)
             }
-            EventKind::Scenario { action } => self.on_scenario(action, entry.time),
+            EventKind::Scenario { action } => return self.on_scenario(action, entry.time),
         }
+        Ok(())
     }
 
     /// Computes the end-of-run outcome from the current state without
@@ -1109,7 +1287,7 @@ impl Simulation {
             + self
                 .population
                 .as_ref()
-                .map(|p| p.read().expect("population lock").bytes_estimate())
+                .map(|p| bdps_overlay::sparse::read_population(p).bytes_estimate())
                 .unwrap_or(0);
 
         SimulationOutcome {
@@ -1153,7 +1331,9 @@ impl Simulation {
         // `Arc<RwLock>`; a branch must get its own deep copy, and every
         // cloned broker table must be re-pointed at it.
         let population = self.population.as_ref().map(|p| {
-            Arc::new(RwLock::new(p.read().expect("population lock").clone())) as PopulationHandle
+            Arc::new(RwLock::new(
+                bdps_overlay::sparse::read_population(p).clone(),
+            )) as PopulationHandle
         });
         if let Some(pop) = &population {
             for b in &mut brokers {
@@ -1186,14 +1366,15 @@ impl Simulation {
             workload: self.workload.clone(),
             scheduler: self.scheduler.clone(),
             rng: self.rng.clone(),
+            publisher_rng: self.publisher_rng.clone(),
+            link_rng: self.link_rng.clone(),
             events,
             queue_kind: self.queue_kind,
-            seq: self.seq,
             events_processed: self.events_processed,
             peak_pending_events: self.peak_pending_events,
             scope_interner: self.scope_interner.clone(),
             scope_scratch: Vec::new(),
-            next_message: self.next_message,
+            next_message: self.next_message.clone(),
             end: self.end,
             drain_grace: self.drain_grace,
             tracker: self.tracker.clone(),
@@ -1224,12 +1405,19 @@ impl Simulation {
     pub fn state_digest(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         h.write_u64(self.now.as_micros());
-        h.write_u64(self.next_message);
+        for &counter in &self.next_message {
+            h.write_u64(counter);
+        }
         h.write_u64(self.published);
         h.write_u64(self.transmissions);
         h.write_u64(self.completed_transfers);
-        for w in self.rng.state_words() {
-            h.write_u64(w);
+        for r in std::iter::once(&self.rng)
+            .chain(self.publisher_rng.iter())
+            .chain(self.link_rng.iter())
+        {
+            for w in r.state_words() {
+                h.write_u64(w);
+            }
         }
         // Pending events as a sorted multiset of (time, content digest).
         let mut pending: Vec<(u64, u64)> = Vec::with_capacity(self.events.len());
@@ -1257,7 +1445,7 @@ impl Simulation {
             h.write_u64(b.state_digest());
         }
         if let Some(pop) = &self.population {
-            h.write_u64(pop.read().expect("population lock").state_digest());
+            h.write_u64(bdps_overlay::sparse::read_population(pop).state_digest());
         }
         // Population membership (the dense layout has no registry).
         h.write_usize(self.subscriptions.len());
@@ -1343,12 +1531,15 @@ impl Simulation {
         let Some(broker) = self.topology.publisher_broker(publisher) else {
             return;
         };
-        let id = MessageId::new(self.next_message);
-        self.next_message += 1;
-        let message = Arc::new(
-            self.workload
-                .generate_message(id, publisher, time, &mut self.rng),
-        );
+        let counter = self.next_message[publisher.index()];
+        self.next_message[publisher.index()] += 1;
+        let id = key::message_id(publisher, counter);
+        let message = Arc::new(self.workload.generate_message(
+            id,
+            publisher,
+            time,
+            &mut self.publisher_rng[publisher.index()],
+        ));
         self.published += 1;
         self.current_phase().published += 1;
 
@@ -1366,6 +1557,7 @@ impl Simulation {
         let done = time + self.scheduler.processing_delay;
         self.push_event(
             done,
+            key::process(None, id),
             EventKind::Process {
                 broker,
                 message,
@@ -1451,6 +1643,7 @@ impl Simulation {
         let done = time + self.scheduler.processing_delay;
         self.push_event(
             done,
+            key::process(Some(link), queued.message.id),
             EventKind::Process {
                 broker: to,
                 message: queued.message,
@@ -1476,7 +1669,7 @@ impl Simulation {
         let transfer = {
             let l = self.topology.graph.link(link);
             l.quality
-                .sample_transfer(queued.message.size_kb, &mut self.rng)
+                .sample_transfer(queued.message.size_kb, &mut self.link_rng[link.index()])
         };
         self.link_busy[link.index()] = true;
         self.transmissions += 1;
@@ -1484,11 +1677,12 @@ impl Simulation {
         let gen = self.link_fail_gen[link.index()];
         self.push_event(
             now + transfer,
+            key::send(link, queued.message.id),
             EventKind::SendComplete { link, queued, gen },
         );
     }
 
-    fn on_scenario(&mut self, action: ScenarioAction, time: SimTime) {
+    fn on_scenario(&mut self, action: ScenarioAction, time: SimTime) -> Result<(), SimError> {
         match action {
             ScenarioAction::SubscriptionJoin {
                 subscription,
@@ -1513,11 +1707,17 @@ impl Simulation {
                         // Register once globally, expand only at the edge;
                         // interior brokers just refresh their aggregate's
                         // group size (and routed fields, unchanged here).
+                        // A poisoned write lock is not recoverable here — a
+                        // half-registered subscription would desynchronise
+                        // the registry from the broker tables — so surface
+                        // it as a structured error instead of a panic.
                         self.population
                             .as_ref()
                             .expect("sparse layout has a population registry")
                             .write()
-                            .expect("population lock")
+                            .map_err(|_| SimError::PopulationPoisoned {
+                                during: "subscription join",
+                            })?
                             .insert(subscription.clone(), broker);
                         let routing = &self.routing;
                         for b in &mut self.brokers {
@@ -1547,7 +1747,9 @@ impl Simulation {
                         .as_ref()
                         .expect("sparse layout has a population registry")
                         .write()
-                        .expect("population lock")
+                        .map_err(|_| SimError::PopulationPoisoned {
+                            during: "subscription leave",
+                        })?
                         .remove(subscription);
                 }
                 let sparse_edge = match self.table_layout {
@@ -1625,6 +1827,7 @@ impl Simulation {
                 self.phases.push(PhaseOutcome::new(label, time));
             }
         }
+        Ok(())
     }
 
     /// Records a link whose liveness just toggled, for the incremental

@@ -34,6 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sched;
+pub mod shard;
 pub mod workload;
 
 pub use bdps_overlay::sparse::TableLayout;
@@ -48,6 +49,7 @@ pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationRepor
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
 pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
 pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, EventQueueKind, Scheduled};
+pub use shard::{run_sharded, try_run_sharded};
 pub use workload::{
     ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
     WorkloadConfig,

@@ -81,6 +81,11 @@ pub struct SimulationConfig {
     /// by default; both layouts yield bit-identical results, see
     /// [`TableLayout`]).
     pub table_layout: TableLayout,
+    /// How many broker shards advance the event loop (1 = the sequential
+    /// reference loop; N > 1 runs the conservative time-window executor on
+    /// N worker threads, see [`crate::shard`]). Every shard count yields
+    /// bit-identical reports.
+    pub shards: usize,
 }
 
 impl SimulationConfig {
@@ -120,17 +125,27 @@ pub struct SweepCell {
 
 /// Runs every cell, using up to `threads` worker threads, and returns
 /// `(label, report)` pairs in the order the cells were given.
+///
+/// A panicking cell does not take the sweep down with it mid-flight: every
+/// remaining cell still runs to completion, and only then does `sweep`
+/// re-panic with a message naming each failed cell (label and seed). There
+/// is no silent partial result vector — either all cells succeeded or the
+/// call panics with the full casualty list.
 pub fn sweep(cells: &[SweepCell], threads: usize) -> Vec<(String, SimulationReport)> {
     let threads = threads.max(1);
     let mut results: Vec<Option<(String, SimulationReport)>> = vec![None; cells.len()];
+    let mut failures: Vec<(usize, String)> = Vec::new();
     if threads == 1 || cells.len() <= 1 {
         for (i, cell) in cells.iter().enumerate() {
-            results[i] = Some((cell.label.clone(), run(&cell.config)));
+            match run_cell(cell) {
+                Ok(pair) => results[i] = Some(pair),
+                Err(msg) => failures.push((i, msg)),
+            }
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(String, SimulationReport)>>> =
-            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<std::result::Result<(String, SimulationReport), String>>>;
+        let slots: Vec<Slot> = (0..cells.len()).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads.min(cells.len()) {
                 scope.spawn(|| loop {
@@ -138,20 +153,56 @@ pub fn sweep(cells: &[SweepCell], threads: usize) -> Vec<(String, SimulationRepo
                     if i >= cells.len() {
                         break;
                     }
-                    let report = run(&cells[i].config);
-                    *slots[i].lock().expect("sweep slot poisoned") =
-                        Some((cells[i].label.clone(), report));
+                    let outcome = run_cell(&cells[i]);
+                    // Recover from poisoning rather than double-panic: the
+                    // only writer is this assignment, after which the value
+                    // is complete, so a poisoned lock still holds good data.
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
                 });
             }
         });
         for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().expect("sweep slot poisoned");
+            match slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                Some(Ok(pair)) => results[i] = Some(pair),
+                Some(Err(msg)) => failures.push((i, msg)),
+                None => failures.push((i, "cell was never executed".to_owned())),
+            }
         }
+    }
+    if !failures.is_empty() {
+        let detail: Vec<String> = failures
+            .iter()
+            .map(|(i, msg)| {
+                format!(
+                    "cell {:?} (seed {}): {msg}",
+                    cells[*i].label, cells[*i].config.seed
+                )
+            })
+            .collect();
+        panic!(
+            "sweep: {} of {} cells panicked — {}",
+            failures.len(),
+            cells.len(),
+            detail.join("; ")
+        );
     }
     results
         .into_iter()
-        .map(|r| r.expect("cell executed"))
+        .map(|r| r.expect("non-failing sweep filled every slot"))
         .collect()
+}
+
+/// Runs one sweep cell, converting a panic into the cell's error string so
+/// the sweep can keep draining its queue.
+fn run_cell(cell: &SweepCell) -> std::result::Result<(String, SimulationReport), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cell.config)))
+        .map(|report| (cell.label.clone(), report))
+        .map_err(crate::shard::panic_message)
 }
 
 /// Builds the sweep cells for a strategy × publishing-rate grid over the
@@ -300,6 +351,90 @@ mod tests {
             assert_eq!(p.0, s.0);
             assert_eq!(p.1, s.1, "parallel and serial sweeps must agree");
         }
+    }
+
+    /// A cell whose topology spec cannot be materialised (panics inside
+    /// `run`): the sweep must name the cell and its seed in the propagated
+    /// panic, and every sibling cell must still have executed first.
+    fn poisoned_cell(seed: u64) -> SweepCell {
+        let mut cfg = quick_config(StrategyKind::MaxEb, 6.0, false, seed);
+        cfg.topology = TopologySpec::LayeredMesh(LayeredMeshConfig {
+            layer_sizes: vec![],
+            fan_in: vec![],
+            publishers_per_first_layer_broker: 1,
+            subscribers_per_edge_broker: 1,
+        });
+        SweepCell {
+            label: format!("bad-seed{seed}"),
+            config: cfg,
+        }
+    }
+
+    fn sweep_panic_message(cells: &[SweepCell], threads: usize) -> String {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sweep(cells, threads)));
+        match outcome {
+            Ok(_) => panic!("sweep with a poisoned cell must panic"),
+            Err(payload) => crate::shard::panic_message(payload),
+        }
+    }
+
+    #[test]
+    fn sweep_panic_names_the_failing_cells_and_drains_the_rest() {
+        let cells = vec![
+            SweepCell {
+                label: "good-a".into(),
+                config: quick_config(StrategyKind::MaxEb, 6.0, false, 11),
+            },
+            poisoned_cell(97),
+            SweepCell {
+                label: "good-b".into(),
+                config: quick_config(StrategyKind::Fifo, 6.0, false, 12),
+            },
+            poisoned_cell(98),
+        ];
+        for threads in [1, 3] {
+            let msg = sweep_panic_message(&cells, threads);
+            assert!(
+                msg.contains("2 of 4 cells panicked"),
+                "threads={threads}: expected the full casualty count, got: {msg}"
+            );
+            for (label, seed) in [("bad-seed97", 97), ("bad-seed98", 98)] {
+                assert!(
+                    msg.contains(label) && msg.contains(&format!("seed {seed}")),
+                    "threads={threads}: message must name cell {label} (seed {seed}), got: {msg}"
+                );
+            }
+            assert!(
+                !msg.contains("good-a") && !msg.contains("good-b"),
+                "threads={threads}: healthy cells must not appear as failures: {msg}"
+            );
+        }
+    }
+
+    /// The threads=1 and threads=N paths (the two branches the panic fix
+    /// rewired) must agree bit-for-bit, including for cells that themselves
+    /// run the sharded executor.
+    #[test]
+    fn sweep_equality_across_thread_counts_with_sharded_cells() {
+        let cells: Vec<SweepCell> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let mut cfg = quick_config(StrategyKind::MaxEbpc, 6.0, true, 7);
+                cfg.shards = shards;
+                SweepCell {
+                    label: format!("shards{shards}"),
+                    config: cfg,
+                }
+            })
+            .collect();
+        let serial = sweep(&cells, 1);
+        let parallel = sweep(&cells, 3);
+        assert_eq!(serial, parallel);
+        // The cells only differ in shard count, so the executor-equivalence
+        // invariant makes all three reports identical too.
+        assert_eq!(serial[0].1, serial[1].1);
+        assert_eq!(serial[0].1, serial[2].1);
     }
 
     #[test]

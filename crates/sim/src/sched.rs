@@ -24,15 +24,16 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-/// One scheduled event: a payload tagged with its firing time and the
-/// engine's monotone sequence number (the deterministic tie-break for
-/// simultaneous events).
+/// One scheduled event: a payload tagged with its firing time and a `u64`
+/// key (the deterministic tie-break for simultaneous events).
 #[derive(Debug, Clone)]
 pub struct Scheduled<T> {
     /// When the event fires.
     pub time: SimTime,
-    /// Scheduling sequence number; earlier-scheduled events pop first among
-    /// equal times.
+    /// Tie-break key; lower keys pop first among equal times. The engine
+    /// derives it canonically from the event's content (see
+    /// `engine::key`), so the `(time, seq)` total order is independent of
+    /// scheduling order — and of which shard scheduled the event.
     pub seq: u64,
     /// The event payload.
     pub item: T,
@@ -347,8 +348,13 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         // to the year scan (which only looks forward): pull the cursor back
         // to that day. Happens when earlier-time events are enqueued after a
         // resize anchored the cursor further ahead — e.g. publisher seeds
-        // pushed after a far-future scenario stream at construction.
-        if micros < self.cursor_top.saturating_sub(self.width) {
+        // pushed after a far-future scenario stream at construction. The
+        // guard is "micros lies on a day strictly before the cursor's",
+        // i.e. `micros < cursor_top - width`, rearranged so the subtraction
+        // cannot underflow when `cursor_top < width` (a t=0-anchored cursor
+        // after a wide resize): saturating the subtraction instead would
+        // clamp the threshold to 0 and misclassify early enqueues.
+        if micros.saturating_add(self.width) < self.cursor_top {
             self.cursor_bucket = self.bucket_of(micros);
             self.cursor_top = (micros / self.width)
                 .saturating_add(1)
@@ -466,8 +472,9 @@ impl EventQueueKind {
         }
     }
 
-    /// Instantiates an empty scheduler of this kind.
-    pub fn create<T: 'static>(self) -> Box<dyn EventQueue<T>> {
+    /// Instantiates an empty scheduler of this kind. The queue is `Send` so
+    /// the sharded executor can hand per-shard queues to worker threads.
+    pub fn create<T: Send + 'static>(self) -> Box<dyn EventQueue<T> + Send> {
         match self {
             EventQueueKind::BinaryHeap => Box::new(BinaryHeapQueue::new()),
             EventQueueKind::Calendar => Box::new(CalendarQueue::new()),
@@ -626,6 +633,69 @@ mod tests {
             assert_eq!(rest_a, rest_b, "seed {seed}");
             assert_eq!(heap_order, calendar_order, "seed {seed}");
         }
+    }
+
+    /// Regression for the cursor pull-back guard (the `cursor_top - width`
+    /// threshold used to be computed with a saturating subtraction, which
+    /// clamps to 0 whenever `cursor_top < width` and silently skips the
+    /// pull-back): events enqueued at t=0 *after* pops have advanced the
+    /// cursor far past the first day must still pop in exact heap order.
+    #[test]
+    fn t0_enqueues_behind_an_advanced_cursor_match_the_heap() {
+        let mut heap = BinaryHeapQueue::new();
+        let mut calendar = CalendarQueue::new();
+        let mut seq = 0u64;
+        for k in 0..100u64 {
+            seq += 1;
+            let e = ev(10_000 + k * 1_000, seq);
+            heap.push(e.clone());
+            calendar.push(e);
+        }
+        // Drain most of the population so the committed cursor sits many
+        // days past t=0 (and shrink resizes re-anchor it along the way).
+        for _ in 0..80 {
+            let a = heap.pop().expect("heap has events");
+            let b = calendar.pop().expect("calendar has events");
+            assert_eq!(a.key(), b.key());
+        }
+        // Now enqueue at and around t=0 — a day strictly before the
+        // cursor's, exactly the pull-back case.
+        for t in [0u64, 0, 1, 5, 0, 3] {
+            seq += 1;
+            let e = ev(t, seq);
+            heap.push(e.clone());
+            calendar.push(e);
+        }
+        assert_eq!(drain(&mut heap), drain(&mut calendar));
+    }
+
+    /// The construction-order variant: a sparse far-future stream first
+    /// (forcing growth resizes that re-estimate a huge bucket width, the
+    /// regime where `cursor_top` and `width` are closest), then a burst of
+    /// t=0 enqueues that must surface before everything else.
+    #[test]
+    fn wide_resize_then_t0_burst_matches_the_heap() {
+        let mut heap = BinaryHeapQueue::new();
+        let mut calendar = CalendarQueue::new();
+        let mut seq = 0u64;
+        for k in 0..40u64 {
+            seq += 1;
+            let e = ev(3_600_000_000 * (k + 1), seq);
+            heap.push(e.clone());
+            calendar.push(e);
+        }
+        for _ in 0..10 {
+            seq += 1;
+            let e = ev(0, seq);
+            heap.push(e.clone());
+            calendar.push(e);
+        }
+        let order = drain(&mut calendar);
+        assert_eq!(order, drain(&mut heap));
+        assert!(
+            order[..10].iter().all(|&(t, _)| t == SimTime::ZERO),
+            "the t=0 burst must pop first: {order:?}"
+        );
     }
 
     #[test]
