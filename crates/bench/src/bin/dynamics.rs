@@ -6,11 +6,19 @@
 //! differentiate most. Every cell is one simulation with the scenario's
 //! randomness derived from the cell seed, so the whole table is reproducible.
 //!
+//! With `--link-model constant,fair-share` the sweep is crossed with the
+//! network layer's [`LinkModelKind`] axis: the paper's exclusive
+//! constant-delay links versus flow-level fair bandwidth sharing. A
+//! congestion summary then reports, per model, the highest per-link
+//! utilisation and the busiest links of the flash-crowd cell — the
+//! fig5-style view of which strategies survive a saturated mesh.
+//!
 //! Usage: `cargo run --release -p bdps-bench --bin dynamics [--full]
-//! [--seed N] [--strategies eb,pc,fifo,rl,ebpc]
-//! [--scenarios static,churn,flash-crowd,link-flap,blackout,chaos]`.
+//! [--seed N] [--rate R] [--strategies eb,pc,fifo,rl,ebpc]
+//! [--scenarios static,churn,flash-crowd,link-flap,blackout,chaos]
+//! [--link-model constant,fair-share]`.
 
-use bdps_bench::{f1, run_cells, ExperimentOptions};
+use bdps_bench::{f1, run_cells, ArgParser, ExperimentOptions, COMMON_FLAGS_HELP};
 use bdps_core::config::StrategyKind;
 use bdps_sim::prelude::*;
 use bdps_types::time::Duration;
@@ -18,77 +26,157 @@ use std::collections::HashMap;
 
 const DEFAULT_SCENARIOS: [&str; 5] = ["static", "churn", "flash-crowd", "link-flap", "chaos"];
 
+struct DynamicsOptions {
+    common: ExperimentOptions,
+    /// SSD-scenario publishing rate (msgs/min). The congestion sweeps
+    /// raise this to push links into saturation.
+    rate: f64,
+}
+
+impl DynamicsOptions {
+    fn from_args() -> Self {
+        let mut parser = ArgParser::from_env();
+        let mut opts = DynamicsOptions {
+            common: ExperimentOptions::default(),
+            rate: 10.0,
+        };
+        let result = (|| -> Result<(), String> {
+            while let Some(flag) = parser.next_flag() {
+                if opts.common.apply(&flag, &mut parser)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--rate" => {
+                        opts.rate = parser.parse_value(&flag)?;
+                        if !opts.rate.is_finite() || opts.rate <= 0.0 {
+                            return Err("--rate must be a positive rate".to_string());
+                        }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "unknown flag {flag:?}; known: {COMMON_FLAGS_HELP} | --rate <msgs/min>"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+        opts
+    }
+}
+
 fn main() {
-    let opts = ExperimentOptions::from_args();
+    let opts = DynamicsOptions::from_args();
     println!(
         "{}",
-        opts.banner("Dynamics — strategy comparison under churn, bursts and link failures")
+        opts.common
+            .banner("Dynamics — strategy comparison under churn, bursts and link failures")
     );
 
-    let strategies = opts.strategies_or(&[
+    let strategies = opts.common.strategies_or(&[
         StrategyKind::MaxEb,
         StrategyKind::MaxPc,
         StrategyKind::MaxEbpc,
         StrategyKind::Fifo,
         StrategyKind::RemainingLifetime,
     ]);
-    let scenarios = opts.scenarios_or(&DEFAULT_SCENARIOS);
+    let scenarios = opts.common.scenarios_or(&DEFAULT_SCENARIOS);
+    let link_models = opts.common.link_models_or(&[LinkModelKind::Constant]);
 
     let mut cells = Vec::new();
-    for scenario in &scenarios {
-        for strategy in &strategies {
-            let config = Simulation::builder()
-                .ssd(10.0)
-                .duration(Duration::from_secs(opts.duration_secs))
-                .strategy(strategy.clone())
-                .scenario(scenario.clone())
-                .seed(opts.seed)
-                .build_config();
-            cells.push(SweepCell {
-                label: format!("{}@{}", strategy.label(), scenario.name),
-                config,
-            });
+    for &model in &link_models {
+        for scenario in &scenarios {
+            for strategy in &strategies {
+                let config = Simulation::builder()
+                    .ssd(opts.rate)
+                    .duration(Duration::from_secs(opts.common.duration_secs))
+                    .strategy(strategy.clone())
+                    .scenario(scenario.clone())
+                    .link_model(model)
+                    .seed(opts.common.seed)
+                    .build_config();
+                cells.push(SweepCell {
+                    label: format!("{}@{}#{}", strategy.label(), scenario.name, model.name()),
+                    config,
+                });
+            }
         }
     }
-    let results = run_cells(&cells, &opts);
+    let results = run_cells(&cells, &opts.common);
     let by_label: HashMap<&str, &SimulationReport> = results
         .iter()
         .map(|(label, report)| (label.as_str(), report))
         .collect();
 
     let strategy_labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+    let scenario_names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
 
-    println!("## Delivery rate (%) by scenario\n");
-    println!(
-        "{}",
-        bdps_bench::series_table(
-            "scenario",
-            &scenarios.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
-            &strategy_labels,
-            |i, s| {
-                let key = format!("{s}@{}", scenarios[i].name);
+    for &model in &link_models {
+        let suffix = if link_models.len() > 1 {
+            format!(" — {model} links")
+        } else {
+            String::new()
+        };
+
+        println!("## Delivery rate (%) by scenario{suffix}\n");
+        println!(
+            "{}",
+            bdps_bench::series_table("scenario", &scenario_names, &strategy_labels, |i, s| {
+                let key = format!("{s}@{}#{}", scenarios[i].name, model.name());
                 f1(by_label[key.as_str()].delivery_rate_percent())
-            }
-        )
-    );
+            })
+        );
 
-    println!("## Total earning (k) by scenario\n");
-    println!(
-        "{}",
-        bdps_bench::series_table(
-            "scenario",
-            &scenarios.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
-            &strategy_labels,
-            |i, s| {
-                let key = format!("{s}@{}", scenarios[i].name);
+        println!("## Total earning (k) by scenario{suffix}\n");
+        println!(
+            "{}",
+            bdps_bench::series_table("scenario", &scenario_names, &strategy_labels, |i, s| {
+                let key = format!("{s}@{}#{}", scenarios[i].name, model.name());
                 f1(by_label[key.as_str()].earning_k())
+            })
+        );
+    }
+
+    // The congestion view: how hard the network layer itself was pushed.
+    // Per model, the run-wide saturation headline by scenario × strategy;
+    // under flash-crowd, the busiest links of every strategy's cell.
+    for &model in &link_models {
+        let suffix = if link_models.len() > 1 {
+            format!(" — {model} links")
+        } else {
+            String::new()
+        };
+        println!("## Max link utilisation (%) by scenario{suffix}\n");
+        println!(
+            "{}",
+            bdps_bench::series_table("scenario", &scenario_names, &strategy_labels, |i, s| {
+                let key = format!("{s}@{}#{}", scenarios[i].name, model.name());
+                f1(by_label[key.as_str()].max_link_utilisation() * 100.0)
+            })
+        );
+    }
+    if let Some(flash) = scenarios.iter().find(|s| s.name == "flash-crowd") {
+        let lead = strategy_labels[0];
+        for &model in &link_models {
+            let key = format!("{lead}@{}#{}", flash.name, model.name());
+            if let Some(r) = by_label.get(key.as_str()) {
+                println!(
+                    "### Busiest links — {lead}, flash-crowd, {model} (max util {:.1} %)\n",
+                    r.max_link_utilisation() * 100.0
+                );
+                println!("{}", r.link_table(3));
             }
-        )
-    );
+        }
+    }
 
     println!("## Resilience bookkeeping (EB)\n");
+    let first_model = link_models[0];
     for scenario in &scenarios {
-        let key = format!("EB@{}", scenario.name);
+        let key = format!("EB@{}#{}", scenario.name, first_model.name());
         if let Some(r) = by_label.get(key.as_str()) {
             println!(
                 "- {}: requeued {}, unsubscribed-drops {}, duplicates {} (must be 0), phases {}",
@@ -102,7 +190,7 @@ fn main() {
     }
 
     // Phase breakdown of the most dynamic scenario, if it ran.
-    if let Some(r) = by_label.get(format!("EB@{}", "chaos").as_str()) {
+    if let Some(r) = by_label.get(format!("EB@chaos#{}", first_model.name()).as_str()) {
         println!("\n## EB per-phase breakdown under chaos\n");
         println!("{}", r.phase_table());
     }

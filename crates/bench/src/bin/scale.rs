@@ -13,13 +13,17 @@
 //! [--populations 160,992,10000] [--queues heap,calendar]
 //! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
 //! [--rebuild-policy full|incremental] [--table-layout dense,sparse]
-//! [--shards 1,2,8] [--out BENCH_scale.json]
+//! [--shards 1,2,8] [--link-model constant,fair-share]
+//! [--out BENCH_scale.json]
 //! [--check bench/baseline.json] [--max-regression 0.25]`.
 //!
 //! `--shards N` with `N > 1` runs the conservative time-window executor
 //! (`bdps_sim::shard`) instead of the sequential loop; shard counts are
 //! part of each cell's baseline key, so sharded and sequential cells are
-//! never gated against each other.
+//! never gated against each other. The link model is part of the key too
+//! (baselines from before the axis existed default to `constant`), and
+//! fair-share cells are skipped at `shards > 1` — the sharded executor
+//! rejects sharing models by design.
 //!
 //! With `--check <baseline>`, every cell present in the baseline is compared
 //! by events/sec and the process exits non-zero when any regresses by more
@@ -193,6 +197,7 @@ struct Cell {
     rebuild_policy: RebuildPolicy,
     table_layout: TableLayout,
     shards: usize,
+    link_model: LinkModelKind,
     duration_secs: u64,
     build_secs: f64,
     wall_secs: f64,
@@ -213,13 +218,14 @@ struct Cell {
 impl Cell {
     fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/s{}",
+            "{}/{}/{}/{}/{}/s{}/{}",
             self.population,
             self.scenario,
             self.queue,
             self.rebuild_policy.name(),
             self.table_layout.name(),
-            self.shards
+            self.shards,
+            self.link_model.name()
         )
     }
 
@@ -227,7 +233,8 @@ impl Cell {
         format!(
             "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
              \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"table_layout\": \"{}\", \
-             \"shards\": {}, \"duration_secs\": {}, \"build_secs\": {:.3}, \
+             \"shards\": {}, \"link_model\": \"{}\", \
+             \"duration_secs\": {}, \"build_secs\": {:.3}, \
              \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
              \"scope_interns\": {}, \"scope_intern_hits\": {}, \
@@ -241,6 +248,7 @@ impl Cell {
             self.rebuild_policy.name(),
             self.table_layout.name(),
             self.shards,
+            self.link_model.name(),
             self.duration_secs,
             self.build_secs,
             self.wall_secs,
@@ -287,6 +295,7 @@ fn mesh_for(population: usize) -> (LayeredMeshConfig, usize) {
 /// Builds and runs one cell `opts.passes` times and keeps the fastest pass
 /// — the first run at a new population pays one-off allocator/page-cache
 /// warmup that would otherwise be misread as a scheduler difference.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     opts: &ScaleOptions,
     population: usize,
@@ -294,6 +303,7 @@ fn run_cell(
     queue: EventQueueKind,
     layout: TableLayout,
     shards: usize,
+    link_model: LinkModelKind,
     strategy: &bdps_core::strategy::StrategyHandle,
 ) -> Cell {
     let (mesh, actual_population) = mesh_for(population);
@@ -307,6 +317,7 @@ fn run_cell(
         .event_queue(queue)
         .rebuild_policy(opts.rebuild_policy)
         .table_layout(layout)
+        .link_model(link_model)
         .seed(opts.common.seed);
     let mut best: Option<Cell> = None;
     for _ in 0..opts.passes {
@@ -328,6 +339,7 @@ fn run_cell(
             rebuild_policy: opts.rebuild_policy,
             table_layout: layout,
             shards,
+            link_model,
             duration_secs,
             build_secs,
             wall_secs,
@@ -380,12 +392,13 @@ fn extract(line: &str, key: &str) -> Option<String> {
     }
 }
 
-/// `(population/scenario/queue/policy/layout/shards, events_per_sec)` pairs
-/// from a baseline file. The rebuild policy, table layout and shard count
-/// are part of the key so a full-policy, sparse-layout or multi-shard run
-/// is never gated against baselines measured under another mode (their
-/// events/sec are not comparable); baselines from before an axis existed
-/// default to its historical value ("incremental" / "dense" / 1 shard).
+/// `(population/scenario/queue/policy/layout/shards/model, events_per_sec)`
+/// pairs from a baseline file. The rebuild policy, table layout, shard
+/// count and link model are part of the key so a full-policy,
+/// sparse-layout, multi-shard or fair-share run is never gated against
+/// baselines measured under another mode (their events/sec are not
+/// comparable); baselines from before an axis existed default to its
+/// historical value ("incremental" / "dense" / 1 shard / "constant").
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter(|line| line.contains("\"population\""))
@@ -397,9 +410,10 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
                 extract(line, "rebuild_policy").unwrap_or_else(|| "incremental".to_string());
             let layout = extract(line, "table_layout").unwrap_or_else(|| "dense".to_string());
             let shards = extract(line, "shards").unwrap_or_else(|| "1".to_string());
+            let model = extract(line, "link_model").unwrap_or_else(|| "constant".to_string());
             let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
             Some((
-                format!("{population}/{scenario}/{queue}/{policy}/{layout}/s{shards}"),
+                format!("{population}/{scenario}/{queue}/{policy}/{layout}/s{shards}/{model}"),
                 eps,
             ))
         })
@@ -497,6 +511,7 @@ fn main() {
         &["churn", "chaos", "link-storm"]
     };
     let scenarios = opts.common.scenarios_or(default_scenarios);
+    let link_models = opts.common.link_models_or(&[LinkModelKind::Constant]);
     let strategies = opts
         .common
         .strategies_or(&[bdps_core::config::StrategyKind::MaxEb]);
@@ -532,15 +547,25 @@ fn main() {
             for &queue in &opts.queues {
                 for &layout in &opts.layouts {
                     for &shards in &opts.shards {
-                        let cell =
-                            run_cell(&opts, population, scenario, queue, layout, shards, strategy);
-                        println!(
-                        "- {:>7} subs · {:<11} · {:<8} · {:<6} · s{}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
+                        for &model in &link_models {
+                            if shards > 1 && model != LinkModelKind::Constant {
+                                println!(
+                                    "- note: skipping {model} at s{shards} (the sharded executor \
+                                     supports only the constant-delay model)"
+                                );
+                                continue;
+                            }
+                            let cell = run_cell(
+                                &opts, population, scenario, queue, layout, shards, model, strategy,
+                            );
+                            println!(
+                        "- {:>7} subs · {:<11} · {:<8} · {:<6} · s{} · {:<10}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
                         cell.population,
                         cell.scenario,
                         cell.queue.name(),
                         cell.table_layout.name(),
                         cell.shards,
+                        cell.link_model.name(),
                         cell.events_per_sec,
                         cell.events,
                         cell.wall_secs,
@@ -551,7 +576,8 @@ fn main() {
                         cell.aggregate_entries,
                         cell.table_bytes_estimate as f64 / 1e6,
                     );
-                        cells.push(cell);
+                            cells.push(cell);
+                        }
                     }
                 }
             }
@@ -572,6 +598,7 @@ fn main() {
                             && c.queue == queue
                             && c.table_layout == layout
                             && c.shards == opts.shards[0]
+                            && c.link_model == link_models[0]
                     })
                 };
                 if let (Some(heap), Some(calendar)) = (
@@ -626,6 +653,7 @@ fn main() {
                             && c.queue == scaling_queue
                             && c.table_layout == scaling_layout
                             && c.shards == shards
+                            && c.link_model == LinkModelKind::Constant
                     })
                 };
                 let Some(base) = find(1) else { continue };
@@ -682,6 +710,7 @@ fn main() {
                             && c.queue == memory_queue
                             && c.table_layout == layout
                             && c.shards == opts.shards[0]
+                            && c.link_model == link_models[0]
                     })
                 };
                 if let (Some(dense), Some(sparse)) =

@@ -28,6 +28,7 @@
 
 use bdps_core::config::StrategyKind;
 use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
+use bdps_net::linkmodel::{LinkModelKind, LinkModelRegistry};
 use bdps_sim::report::{render_markdown_table, SimulationReport};
 use bdps_sim::runner::{sweep, SweepCell};
 use bdps_sim::scenario::{DynamicScenario, ScenarioRegistry};
@@ -47,6 +48,10 @@ pub struct ExperimentOptions {
     /// Dynamic-scenario names selected with `--scenarios` (resolved through
     /// the [`ScenarioRegistry`]); empty means "use the binary's default set".
     pub scenarios: Vec<String>,
+    /// Link-model names selected with `--link-model` (resolved through the
+    /// [`LinkModelRegistry`]); empty means "use the binary's default"
+    /// (usually the paper's constant-delay model).
+    pub link_models: Vec<String>,
 }
 
 impl Default for ExperimentOptions {
@@ -59,6 +64,7 @@ impl Default for ExperimentOptions {
                 .unwrap_or(4),
             strategies: Vec::new(),
             scenarios: Vec::new(),
+            link_models: Vec::new(),
         }
     }
 }
@@ -121,7 +127,7 @@ impl ArgParser {
 /// The flags every experiment binary accepts (kept next to
 /// [`ExperimentOptions::apply`] so usage strings stay truthful).
 pub const COMMON_FLAGS_HELP: &str = "--full | --duration <secs> | --seed <n> | --threads <n> \
-     | --strategies <a,b,c> | --scenarios <a,b,c>";
+     | --strategies <a,b,c> | --scenarios <a,b,c> | --link-model <a,b>";
 
 impl ExperimentOptions {
     /// Parses the shared flags (`--full`, `--duration <secs>`, `--seed <n>`,
@@ -159,6 +165,7 @@ impl ExperimentOptions {
             "--threads" => self.threads = parser.parse_value(flag)?,
             "--strategies" => self.strategies = parser.list_value(flag)?,
             "--scenarios" => self.scenarios = parser.list_value(flag)?,
+            "--link-model" => self.link_models = parser.list_value(flag)?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -204,6 +211,29 @@ impl ExperimentOptions {
                 registry.resolve(name).unwrap_or_else(|| {
                     eprintln!(
                         "unknown scenario {name:?}; registered: {}",
+                        registry.names().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+
+    /// The link models a binary should run: the names given with
+    /// `--link-model`, resolved through the built-in [`LinkModelRegistry`],
+    /// or `default` when none were selected. Exits with a diagnostic on an
+    /// unknown name, listing the registered ones — never silently defaults.
+    pub fn link_models_or(&self, default: &[LinkModelKind]) -> Vec<LinkModelKind> {
+        if self.link_models.is_empty() {
+            return default.to_vec();
+        }
+        let registry = LinkModelRegistry::builtin();
+        self.link_models
+            .iter()
+            .map(|name| {
+                registry.resolve(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown link model {name:?}; registered: {}",
                         registry.names().join(", ")
                     );
                     std::process::exit(2);
@@ -315,6 +345,21 @@ mod tests {
     }
 
     #[test]
+    fn link_model_selection_defaults_and_resolves() {
+        let defaults = ExperimentOptions::default().link_models_or(&[LinkModelKind::Constant]);
+        assert_eq!(defaults, vec![LinkModelKind::Constant]);
+        let picked = ExperimentOptions {
+            link_models: vec!["fair-share".into(), "constant".into()],
+            ..ExperimentOptions::default()
+        }
+        .link_models_or(&[LinkModelKind::Constant]);
+        assert_eq!(
+            picked,
+            vec![LinkModelKind::FairShare, LinkModelKind::Constant]
+        );
+    }
+
+    #[test]
     fn series_table_layout() {
         let t = series_table(
             "rate",
@@ -349,12 +394,15 @@ mod tests {
             "churn, chaos,",
             "--strategies",
             "eb,fifo",
+            "--link-model",
+            "fair-share,constant",
         ])
         .unwrap();
         assert_eq!(opts.duration_secs, 240);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.scenarios, vec!["churn", "chaos"]);
         assert_eq!(opts.strategies, vec!["eb", "fifo"]);
+        assert_eq!(opts.link_models, vec!["fair-share", "constant"]);
 
         // The historical silent-skip bug: a singular "--scenario" typo must
         // be an error, not an ignored token.

@@ -18,6 +18,7 @@
 use bdps_core::config::{SchedulerConfig, StrategyKind};
 use bdps_net::bandwidth::FixedRate;
 use bdps_net::link::LinkQuality;
+use bdps_net::linkmodel::LinkModelKind;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::sparse::TableLayout;
 use bdps_overlay::topology::Topology;
@@ -150,6 +151,11 @@ pub struct McModel {
     pub events: Vec<(Duration, ScenarioAction)>,
     /// Scheduling strategy brokers select transmissions with.
     pub strategy: StrategyKind,
+    /// The link transfer-time model (constant delay by default). Under
+    /// [`LinkModelKind::FairShare`] same-instant copies contend on one link
+    /// instead of serialising, so the explorer also covers flow-admission
+    /// interleavings.
+    pub link_model: LinkModelKind,
     /// Seed for subscription filters and message contents.
     pub seed: u64,
     /// How long past the publication period the model keeps draining.
@@ -179,6 +185,7 @@ impl McModel {
             message_size_kb: 50.0,
             events: Vec::new(),
             strategy: StrategyKind::Fifo,
+            link_model: LinkModelKind::default(),
             seed: 1,
             drain_grace: Duration::from_secs(600),
             require_quiescence: true,
@@ -295,6 +302,7 @@ impl McModel {
         .with_event_queue(cell.queue)
         .with_rebuild_policy(cell.policy)
         .with_table_layout(cell.layout)
+        .with_link_model(self.link_model)
         .with_drain_grace(self.drain_grace);
         #[cfg(feature = "fault-injection")]
         if let Some(fault) = self.fault {

@@ -16,6 +16,10 @@
 //!   per-packet delay model derived from the Internet measurement studies the
 //!   paper cites;
 //! * [`link`] — directed overlay links carrying a bandwidth model;
+//! * [`linkmodel`] — pluggable transfer-time models over those links: the
+//!   paper's one-transfer-at-a-time sampled delay ([`linkmodel::ConstantDelay`],
+//!   the oracle) and flow-level fair bandwidth sharing
+//!   ([`linkmodel::FairShare`]);
 //! * [`measure`] — simulated bandwidth probing feeding online estimators,
 //!   including deliberate estimation-error injection for ablation studies;
 //! * [`tcp`] — a Mathis-formula TCP throughput model used to derive
@@ -26,11 +30,15 @@
 
 pub mod bandwidth;
 pub mod link;
+pub mod linkmodel;
 pub mod measure;
 pub mod tcp;
 
 pub use bandwidth::{AnyBandwidth, BandwidthModel, FixedRate, NormalRate, ShiftedGammaRate};
 pub use link::{Link, LinkDirection, LinkQuality};
+pub use linkmodel::{
+    ConstantDelay, FairShare, LinkModel, LinkModelKind, LinkModelRegistry, LinkSharing,
+};
 pub use measure::{EstimationError, LinkEstimator};
 pub use tcp::TcpPathModel;
 
@@ -40,6 +48,9 @@ pub mod prelude {
         AnyBandwidth, BandwidthModel, FixedRate, NormalRate, ShiftedGammaRate,
     };
     pub use crate::link::{Link, LinkDirection, LinkQuality};
+    pub use crate::linkmodel::{
+        ConstantDelay, FairShare, LinkModel, LinkModelKind, LinkModelRegistry, LinkSharing,
+    };
     pub use crate::measure::{EstimationError, LinkEstimator};
     pub use crate::tcp::TcpPathModel;
 }

@@ -25,6 +25,7 @@
 
 use bdps_core::config::{InvalidDetection, SchedulerConfig};
 use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
+use bdps_net::linkmodel::{LinkModelKind, LinkModelRegistry};
 use bdps_net::measure::EstimationError;
 use bdps_overlay::topology::LayeredMeshConfig;
 use bdps_stats::rng::SimRng;
@@ -65,6 +66,7 @@ pub struct SimulationBuilder {
     event_queue: EventQueueKind,
     rebuild_policy: RebuildPolicy,
     table_layout: TableLayout,
+    link_model: LinkModelKind,
     shards: usize,
 }
 
@@ -83,6 +85,7 @@ impl Default for SimulationBuilder {
             event_queue: EventQueueKind::default(),
             rebuild_policy: RebuildPolicy::default(),
             table_layout: TableLayout::default(),
+            link_model: LinkModelKind::default(),
             shards: 1,
         }
     }
@@ -110,6 +113,7 @@ impl SimulationBuilder {
             event_queue: config.event_queue,
             rebuild_policy: config.rebuild_policy,
             table_layout: config.table_layout,
+            link_model: config.link_model,
             shards: config.shards,
         }
     }
@@ -268,6 +272,39 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the link transfer-time model (constant delay by default —
+    /// the paper's one-transfer-at-a-time sampled rate). Unlike the rebuild
+    /// policy and table layout this axis *changes results*:
+    /// [`LinkModelKind::FairShare`] shares each link's bandwidth equally
+    /// among concurrent flows, so congested links genuinely slow down.
+    /// Fair-share runs require `shards(1)` — the sharded executor returns a
+    /// structured error for non-constant models.
+    pub fn link_model(mut self, model: LinkModelKind) -> Self {
+        self.link_model = model;
+        self
+    }
+
+    /// Resolves a link model by name through the built-in
+    /// [`LinkModelRegistry`] (`"constant"`, `"fair-share"`, or their
+    /// aliases).
+    pub fn link_model_named(self, name: &str) -> Result<Self> {
+        self.link_model_from(&LinkModelRegistry::builtin(), name)
+    }
+
+    /// Resolves a link model by name through a caller-supplied registry, so
+    /// user-registered aliases are reachable from configuration files and
+    /// command lines.
+    pub fn link_model_from(mut self, registry: &LinkModelRegistry, name: &str) -> Result<Self> {
+        let model = registry.resolve(name).ok_or_else(|| {
+            BdpsError::InvalidConfig(format!(
+                "unknown link model {name:?} (known: {})",
+                registry.names().join(", ")
+            ))
+        })?;
+        self.link_model = model;
+        Ok(self)
+    }
+
     /// Sets the root RNG seed; topology, workload, scheduling and scenario
     /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -322,6 +359,7 @@ impl SimulationBuilder {
             event_queue: self.event_queue,
             rebuild_policy: self.rebuild_policy,
             table_layout: self.table_layout,
+            link_model: self.link_model,
             shards: self.shards,
         }
     }
@@ -350,6 +388,7 @@ impl SimulationBuilder {
         }
         sim = sim.with_rebuild_policy(config.rebuild_policy);
         sim = sim.with_table_layout(config.table_layout);
+        sim = sim.with_link_model(config.link_model);
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
         }

@@ -29,6 +29,7 @@ use bdps_core::queue::QueuedMessage;
 use bdps_filter::index::MatchIndex;
 use bdps_filter::scope::{ScopeInterner, ScopeSet};
 use bdps_filter::subscription::Subscription;
+use bdps_net::linkmodel::{LinkModel, LinkModelKind, LinkSharing};
 use bdps_net::measure::EstimationError;
 use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::routing::{RouteDelta, Routing};
@@ -70,7 +71,16 @@ use crate::workload::WorkloadConfig;
 ///   publisher-side hand-off), a link completes one transfer at a time and a
 ///   local hand-off is a fresh message, so `(via, message)` never repeats at
 ///   an instant;
-/// * **send** — a link carries at most one in-flight transfer (`link_busy`).
+/// * **send** — a link carries at most one in-flight copy *per message*:
+///   under the exclusive (constant-delay) link model at most one transfer is
+///   in flight per link (`link_busy`), and under a sharing model
+///   ([`bdps_net::linkmodel::FairShare`]) concurrent flows on one link are
+///   distinct messages (single-path routing enqueues one copy of a message
+///   per link), so `(link, message)` stays unique. A rescheduled flow
+///   completion leaves stale events behind at *different* times (the engine
+///   only re-pushes when the completion time moved), so equal `(time, key)`
+///   pairs never coexist — and even a popped stale event is a no-op, making
+///   pop order among hypothetical duplicates irrelevant.
 pub(crate) mod key {
     use bdps_types::id::{LinkId, MessageId, PublisherId};
 
@@ -150,6 +160,18 @@ pub enum SimError {
         /// The payload of the worker's panic.
         message: String,
     },
+    /// The sharded executor was asked to run a non-constant link model.
+    ///
+    /// Fair-share completion re-scheduling can move an already-scheduled
+    /// cross-shard arrival inside the current conservative time window,
+    /// which breaks the PD-lookahead soundness argument the sharded
+    /// executor rests on — so the combination is rejected up front as a
+    /// structured error instead of silently diverging from the sequential
+    /// run.
+    ShardedLinkModelUnsupported {
+        /// The rejected link model's registry name.
+        model: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -162,6 +184,13 @@ impl fmt::Display for SimError {
             SimError::WorkerPanicked { shard, message } => {
                 write!(f, "shard {shard} worker panicked: {message}")
             }
+            SimError::ShardedLinkModelUnsupported { model } => write!(
+                f,
+                "sharded execution supports only the constant-delay link model \
+                 (got `{model}`): flow completion re-scheduling can move a \
+                 cross-shard arrival inside the PD-lookahead window — run with \
+                 shards = 1"
+            ),
         }
     }
 }
@@ -213,6 +242,25 @@ pub enum EventKind {
         /// The link's failure generation when the transfer started.
         gen: u64,
     },
+    /// A flow finishes under a sharing link model
+    /// ([`bdps_net::linkmodel::FairShare`]). Unlike [`SendComplete`]
+    /// (whose one-shot schedule can carry the copy itself), the copy stays
+    /// in the engine's per-link flow table — completion re-scheduling would
+    /// otherwise clone the copy's target list once per recompute. `resched`
+    /// stamps which (re-)schedule this event belongs to: the engine bumps
+    /// the flow's stamp whenever its completion time moves, so a popped
+    /// event with an outdated stamp (or no live flow at all) is stale and
+    /// ignored.
+    ///
+    /// [`SendComplete`]: EventKind::SendComplete
+    FlowComplete {
+        /// The transmitting link.
+        link: LinkId,
+        /// The message whose copy is in flight on the link.
+        message: MessageId,
+        /// The flow's re-schedule stamp when this event was pushed.
+        resched: u64,
+    },
     /// A scenario action fires.
     Scenario {
         /// The action.
@@ -235,6 +283,9 @@ impl EventKind {
             }
             EventKind::SendComplete { link, queued, .. } => {
                 format!("send:l{}:m{}", link.index(), queued.message.id.raw())
+            }
+            EventKind::FlowComplete { link, message, .. } => {
+                format!("flow:l{}:m{}", link.index(), message.raw())
             }
             EventKind::Scenario { action } => format!("scenario:{}", action.label()),
         }
@@ -275,6 +326,16 @@ impl EventKind {
             EventKind::Scenario { action } => {
                 h.write_u8(4);
                 h.write(action.label().as_bytes());
+            }
+            EventKind::FlowComplete {
+                link,
+                message,
+                resched,
+            } => {
+                h.write_u8(5);
+                h.write_u32(link.raw());
+                h.write_u64(message.raw());
+                h.write_u64(*resched);
             }
         }
     }
@@ -366,6 +427,57 @@ impl PhaseOutcome {
     }
 }
 
+/// Per-link utilisation and queueing counters, accumulated by the engine
+/// at every transfer start/completion (and, under a sharing link model, at
+/// every flow arrival/departure). Time integrals are kept in integer
+/// microseconds so the sharded executor reproduces them exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkLoad {
+    /// Transfers started on this link.
+    pub transmissions: u64,
+    /// Transfers whose copy reached the downstream broker.
+    pub completed_transfers: u64,
+    /// Microseconds the link spent with at least one transfer in flight.
+    /// Utilisation = `busy_us` / run duration; a saturated link stays busy
+    /// (almost) the whole run.
+    pub busy_us: u64,
+    /// Integral of the in-flight flow count over time, in flow-µs —
+    /// `flow_time_us / busy_us` is the mean concurrency while busy (always
+    /// 1 under the exclusive constant-delay model).
+    pub flow_time_us: u64,
+    /// Most flows ever concurrently in flight (1 under the exclusive
+    /// model; up to the admission cap under fair sharing).
+    pub peak_flows: u64,
+    /// Deepest the sender's output queue behind this link ever got —
+    /// the queueing counter: a saturated link grows a backlog here.
+    pub peak_queue: u64,
+    /// Dedicated-link service consumed by flows under a sharing model, µs
+    /// (each completed or voided flow contributes its sampled service time
+    /// minus what it still owed). Zero under the exclusive model, where
+    /// `busy_us` plays this role directly. With equal sharing the link
+    /// serves at unit aggregate rate whenever busy, so `work_done_us ≈
+    /// busy_us` once drained — the flow-level conservation law
+    /// `tests/linkmodel_equivalence.rs` checks.
+    pub work_done_us: f64,
+}
+
+/// One in-flight flow on a link under a sharing link model. The engine
+/// keeps these per link; the pending [`EventKind::FlowComplete`] whose
+/// `resched` stamp matches is the flow's live completion event.
+#[derive(Clone)]
+pub(crate) struct LinkFlow {
+    /// The copy in flight, targets included (requeued intact on failure).
+    pub(crate) queued: QueuedMessage,
+    /// Sampled dedicated-link service requirement, µs.
+    pub(crate) nominal_us: f64,
+    /// Dedicated-link service still owed, µs (drains at `elapsed / flows`).
+    pub(crate) remaining_us: f64,
+    /// Re-schedule stamp of the live completion event.
+    pub(crate) resched: u64,
+    /// When the live completion event is scheduled.
+    pub(crate) completes_at: SimTime,
+}
+
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationOutcome {
@@ -428,6 +540,9 @@ pub struct SimulationOutcome {
     /// shared population registry, counted once. The memory axis the
     /// `scale` bench tracks per layout.
     pub table_bytes_estimate: u64,
+    /// Per-link utilisation/queueing counters, indexed by link id, with
+    /// the busy/flow-time integrals closed at `finished_at`.
+    pub link_loads: Vec<LinkLoad>,
 }
 
 impl SimulationOutcome {
@@ -633,6 +748,21 @@ pub struct Simulation {
     believed_graph: OverlayGraph,
     routing: Routing,
     pub(crate) link_busy: Vec<bool>,
+    /// Which link transfer-time model this run uses (constant by default).
+    pub(crate) link_model_kind: LinkModelKind,
+    /// The model instance every transfer-time computation goes through —
+    /// stateless (all flow bookkeeping lives in the engine), so forks
+    /// rebuild it from `link_model_kind`.
+    pub(crate) link_model: Box<dyn LinkModel>,
+    /// In-flight flows per link under a sharing link model (always empty
+    /// under the exclusive constant-delay model, where `link_busy` and the
+    /// copy-carrying `SendComplete` event do the bookkeeping).
+    pub(crate) link_flows: Vec<Vec<LinkFlow>>,
+    /// When each link's in-flight set last changed — the left edge of the
+    /// open busy/flow-time integral interval in `link_load`.
+    pub(crate) link_last_change: Vec<SimTime>,
+    /// Per-link utilisation/queueing counters (see [`LinkLoad`]).
+    pub(crate) link_load: Vec<LinkLoad>,
     /// Nested failure depth per link; a link is alive iff its depth is 0.
     pub(crate) link_down_depth: Vec<u32>,
     /// Failure generation per link, bumped on every `LinkDown`; a transfer
@@ -879,7 +1009,8 @@ impl Simulation {
         for l in topology.graph.links() {
             link_of[l.from.index()][l.to.index()] = Some(l.id);
         }
-        let link_busy = vec![false; topology.graph.link_count()];
+        let link_count = topology.graph.link_count();
+        let link_busy = vec![false; link_count];
         let link_down_depth = vec![0u32; topology.graph.link_count()];
         let link_fail_gen = vec![0u64; topology.graph.link_count()];
         let link_dirty = vec![false; topology.graph.link_count()];
@@ -925,6 +1056,11 @@ impl Simulation {
             believed_graph,
             routing,
             link_busy,
+            link_model_kind: LinkModelKind::default(),
+            link_model: LinkModelKind::default().create(),
+            link_flows: vec![Vec::new(); link_count],
+            link_last_change: vec![SimTime::ZERO; link_count],
+            link_load: vec![LinkLoad::default(); link_count],
             link_down_depth,
             link_fail_gen,
             routing_dirty: false,
@@ -1029,6 +1165,29 @@ impl Simulation {
         );
         self.table_layout = layout;
         self
+    }
+
+    /// Selects the link transfer-time model (see
+    /// [`LinkModelKind`]; constant delay by default). Every transfer-time
+    /// computation goes through the chosen [`LinkModel`] trait object —
+    /// the constant model is the differential oracle, bit-identical to the
+    /// pre-trait engine (`tests/linkmodel_equivalence.rs` pins it) — so a
+    /// direct `LinkQuality::sample_transfer` call in the engine would
+    /// bypass the sharing discipline and is no longer allowed. Call before
+    /// [`run`](Self::run), while no traffic has flowed.
+    pub fn with_link_model(mut self, kind: LinkModelKind) -> Self {
+        assert!(
+            self.transmissions == 0 && self.link_flows.iter().all(Vec::is_empty),
+            "link model must be chosen before any transfer starts"
+        );
+        self.link_model_kind = kind;
+        self.link_model = kind.create();
+        self
+    }
+
+    /// The link transfer-time model this run uses.
+    pub fn link_model(&self) -> LinkModelKind {
+        self.link_model_kind
     }
 
     /// Materialises the per-broker state (tables and queues) for the
@@ -1139,6 +1298,81 @@ impl Simulation {
         self.phases.last_mut().expect("at least one phase")
     }
 
+    /// Advances `link`'s busy/flow-time integrals to `now` and, under a
+    /// sharing model, drains the equal share of elapsed service from every
+    /// active flow's remaining work. Must be called before the link's
+    /// in-flight set changes (flow admitted, completed or voided; exclusive
+    /// transfer started or finished).
+    fn touch_link(&mut self, link: LinkId, now: SimTime) {
+        let i = link.index();
+        let elapsed = now.duration_since(self.link_last_change[i]).as_micros();
+        self.link_last_change[i] = now;
+        if elapsed == 0 {
+            return;
+        }
+        // Under the exclusive model the busy flag is the flow count; under
+        // a sharing model the flow table is (and the flag stays false).
+        let active = self.link_flows[i].len().max(self.link_busy[i] as usize) as u64;
+        if active == 0 {
+            return;
+        }
+        let load = &mut self.link_load[i];
+        load.busy_us += elapsed;
+        load.flow_time_us += active * elapsed;
+        let share = elapsed as f64 / active as f64;
+        for f in &mut self.link_flows[i] {
+            f.remaining_us -= share;
+        }
+    }
+
+    /// Recomputes and (re-)schedules the completion of every active flow on
+    /// `link`. Assumes [`touch_link`](Self::touch_link) already advanced
+    /// remaining work to `now`: with `n` flows each receiving an equal
+    /// share, a flow owing `w` µs of dedicated service completes `w·n` µs
+    /// from now. A fresh [`EventKind::FlowComplete`] is pushed only for
+    /// flows whose completion time actually moved; the superseded event is
+    /// recognised (and ignored) at pop by its outdated `resched` stamp.
+    fn reschedule_flows(&mut self, link: LinkId, now: SimTime) {
+        let i = link.index();
+        let n = self.link_flows[i].len();
+        if n == 0 {
+            return;
+        }
+        let mut moved: Vec<(SimTime, MessageId, u64)> = Vec::new();
+        for f in &mut self.link_flows[i] {
+            let wait_us = f.remaining_us.max(0.0) * n as f64;
+            let completes = now + Duration::from_millis_f64(wait_us / 1_000.0);
+            if completes != f.completes_at {
+                f.resched += 1;
+                f.completes_at = completes;
+                moved.push((completes, f.queued.message.id, f.resched));
+            }
+        }
+        for (at, message, resched) in moved {
+            self.push_event(
+                at,
+                key::send(link, message),
+                EventKind::FlowComplete {
+                    link,
+                    message,
+                    resched,
+                },
+            );
+        }
+    }
+
+    /// Records the depth of the sender's output queue behind `link` into
+    /// the link's peak-queue counter — called wherever copies enter that
+    /// queue (enqueue after processing, requeue after a voided transfer).
+    fn note_queue_peak(&mut self, link: LinkId, from: BrokerId, to: BrokerId) {
+        let depth = self.brokers[from.index()]
+            .queue(to)
+            .map(|q| q.len() as u64)
+            .unwrap_or(0);
+        let load = &mut self.link_load[link.index()];
+        load.peak_queue = load.peak_queue.max(depth);
+    }
+
     /// Runs the simulation to completion and returns the outcome, panicking
     /// on the (thread-environment-only) failures [`try_run`](Self::try_run)
     /// surfaces as [`SimError`].
@@ -1244,6 +1478,11 @@ impl Simulation {
             EventKind::SendComplete { link, queued, gen } => {
                 self.on_send_complete(link, queued, gen, entry.time)
             }
+            EventKind::FlowComplete {
+                link,
+                message,
+                resched,
+            } => self.on_flow_complete(link, message, resched, entry.time),
             EventKind::Scenario { action } => return self.on_scenario(action, entry.time),
         }
         Ok(())
@@ -1263,8 +1502,12 @@ impl Simulation {
         self.events.for_each(&mut |entry| match entry.item {
             EventKind::SendComplete { .. } => in_flight_at_end += 1,
             EventKind::Process { .. } => pending_process_at_end += 1,
+            // FlowComplete events are not counted: under a sharing model
+            // the flow table is authoritative (stale rescheduled events
+            // would otherwise inflate the in-flight count).
             _ => {}
         });
+        in_flight_at_end += self.link_flows.iter().map(|f| f.len() as u64).sum::<u64>();
         let mut phases = self.phases.clone();
         for i in 0..phases.len() {
             phases[i].end = if i + 1 < phases.len() {
@@ -1310,7 +1553,31 @@ impl Simulation {
             entries_retargeted: self.entries_retargeted,
             aggregate_entries,
             table_bytes_estimate,
+            link_loads: self.link_loads_snapshot(),
         }
+    }
+
+    /// The per-link counters with the open busy/flow-time integral interval
+    /// closed at the current clock (the stored accumulators only advance
+    /// when a link's in-flight set changes).
+    fn link_loads_snapshot(&self) -> Vec<LinkLoad> {
+        self.link_load
+            .iter()
+            .enumerate()
+            .map(|(i, load)| {
+                let mut load = load.clone();
+                let elapsed = self
+                    .now
+                    .duration_since(self.link_last_change[i])
+                    .as_micros();
+                let active = self.link_flows[i].len().max(self.link_busy[i] as usize) as u64;
+                if elapsed > 0 && active > 0 {
+                    load.busy_us += elapsed;
+                    load.flow_time_us += active * elapsed;
+                }
+                load
+            })
+            .collect()
     }
 
     /// Consumes the simulation and returns the outcome (the tail of
@@ -1350,6 +1617,11 @@ impl Simulation {
             believed_graph: self.believed_graph.clone(),
             routing: self.routing.clone(),
             link_busy: self.link_busy.clone(),
+            link_model_kind: self.link_model_kind,
+            link_model: self.link_model_kind.create(),
+            link_flows: self.link_flows.clone(),
+            link_last_change: self.link_last_change.clone(),
+            link_load: self.link_load.clone(),
             link_down_depth: self.link_down_depth.clone(),
             link_fail_gen: self.link_fail_gen.clone(),
             routing_dirty: self.routing_dirty,
@@ -1438,7 +1710,29 @@ impl Simulation {
             h.write_u32(self.link_down_depth[i]);
             h.write_u64(self.link_fail_gen[i]);
             h.write_u8(self.link_alive_at_rebuild[i] as u8);
+            h.write_u64(self.link_last_change[i].as_micros());
+            let load = &self.link_load[i];
+            h.write_u64(load.transmissions);
+            h.write_u64(load.completed_transfers);
+            h.write_u64(load.busy_us);
+            h.write_u64(load.flow_time_us);
+            h.write_u64(load.peak_flows);
+            h.write_u64(load.peak_queue);
+            h.write_u64(load.work_done_us.to_bits());
+            // Flows as an id-sorted multiset: the Vec order is admission
+            // order, which is not logical state.
+            let mut flows: Vec<&LinkFlow> = self.link_flows[i].iter().collect();
+            flows.sort_unstable_by_key(|f| f.queued.message.id.raw());
+            h.write_usize(flows.len());
+            for f in flows {
+                h.write_u64(f.queued.message.id.raw());
+                h.write_u64(f.nominal_us.to_bits());
+                h.write_u64(f.remaining_us.to_bits());
+                h.write_u64(f.resched);
+                h.write_u64(f.completes_at.as_micros());
+            }
         }
+        h.write_u8(self.link_model_kind as u8);
         h.write_u8(self.routing_dirty as u8);
         // Brokers: counters, queues and tables.
         for b in &self.brokers {
@@ -1599,6 +1893,9 @@ impl Simulation {
             }
         }
         for neighbor in outcome.enqueued_to {
+            if let Some(link) = self.link_between(broker, neighbor) {
+                self.note_queue_peak(link, broker, neighbor);
+            }
             self.try_send(broker, neighbor, time);
         }
     }
@@ -1608,6 +1905,7 @@ impl Simulation {
             let l = self.topology.graph.link(link);
             (l.from, l.to)
         };
+        self.touch_link(link, time);
         self.link_busy[link.index()] = false;
         if !self.link_alive(link) || gen != self.link_fail_gen[link.index()] {
             #[cfg(feature = "fault-injection")]
@@ -1623,6 +1921,7 @@ impl Simulation {
             // purge) like any other copy.
             let accepted = self.brokers[from.index()].requeue(to, queued);
             debug_assert!(accepted, "sender must have a queue for its own link");
+            self.note_queue_peak(link, from, to);
             if self.link_alive(link) {
                 // Flap already over: restart the queue immediately.
                 self.try_send(from, to, time);
@@ -1630,6 +1929,7 @@ impl Simulation {
             return;
         }
         self.completed_transfers += 1;
+        self.link_load[link.index()].completed_transfers += 1;
         // The copy arrives at the downstream broker; processing takes PD.
         // Target lists are built in ascending subscription order and every
         // later mutation preserves it, so the ids intern without sorting;
@@ -1658,28 +1958,123 @@ impl Simulation {
         let Some(link) = self.link_between(from, to) else {
             return;
         };
-        if self.link_busy[link.index()] || !self.link_alive(link) {
+        if !self.link_alive(link) {
             return;
         }
-        let decision = self.brokers[from.index()].next_to_send(to, now);
-        self.current_phase().dropped += decision.dropped.len() as u64;
-        let Some(queued) = decision.message else {
-            return;
+        match self.link_model.sharing() {
+            LinkSharing::Exclusive => {
+                if self.link_busy[link.index()] {
+                    return;
+                }
+                let decision = self.brokers[from.index()].next_to_send(to, now);
+                self.current_phase().dropped += decision.dropped.len() as u64;
+                let Some(queued) = decision.message else {
+                    return;
+                };
+                let transfer = {
+                    let l = self.topology.graph.link(link);
+                    self.link_model.sample_transfer(
+                        &l.quality,
+                        queued.message.size_kb,
+                        &mut self.link_rng[link.index()],
+                    )
+                };
+                self.touch_link(link, now);
+                self.link_busy[link.index()] = true;
+                let load = &mut self.link_load[link.index()];
+                load.transmissions += 1;
+                load.peak_flows = load.peak_flows.max(1);
+                self.transmissions += 1;
+                self.current_phase().transmissions += 1;
+                let gen = self.link_fail_gen[link.index()];
+                self.push_event(
+                    now + transfer,
+                    key::send(link, queued.message.id),
+                    EventKind::SendComplete { link, queued, gen },
+                );
+            }
+            LinkSharing::FairShare { max_flows } => {
+                // Admit queued copies as concurrent flows up to the cap;
+                // each admission slows every in-flight flow, so all
+                // completion times on the link are recomputed.
+                while self.link_flows[link.index()].len() < max_flows {
+                    let decision = self.brokers[from.index()].next_to_send(to, now);
+                    self.current_phase().dropped += decision.dropped.len() as u64;
+                    let Some(queued) = decision.message else {
+                        break;
+                    };
+                    let nominal = {
+                        let l = self.topology.graph.link(link);
+                        self.link_model.sample_transfer(
+                            &l.quality,
+                            queued.message.size_kb,
+                            &mut self.link_rng[link.index()],
+                        )
+                    };
+                    self.touch_link(link, now);
+                    let nominal_us = nominal.as_micros() as f64;
+                    self.link_flows[link.index()].push(LinkFlow {
+                        queued,
+                        nominal_us,
+                        remaining_us: nominal_us,
+                        resched: 0,
+                        completes_at: SimTime::MAX,
+                    });
+                    let flows = self.link_flows[link.index()].len() as u64;
+                    let load = &mut self.link_load[link.index()];
+                    load.transmissions += 1;
+                    load.peak_flows = load.peak_flows.max(flows);
+                    self.transmissions += 1;
+                    self.current_phase().transmissions += 1;
+                    self.reschedule_flows(link, now);
+                }
+            }
+        }
+    }
+
+    /// Completion of one flow under a sharing link model. A popped event
+    /// whose `resched` stamp no longer matches a live flow is stale — the
+    /// flow completed earlier, was voided by a link failure, or had its
+    /// completion moved by a later arrival/departure — and is ignored.
+    fn on_flow_complete(&mut self, link: LinkId, message: MessageId, resched: u64, time: SimTime) {
+        let i = link.index();
+        let Some(pos) = self.link_flows[i]
+            .iter()
+            .position(|f| f.queued.message.id == message && f.resched == resched)
+        else {
+            return; // stale completion event
         };
-        let transfer = {
+        self.touch_link(link, time);
+        let flow = self.link_flows[i].remove(pos);
+        let load = &mut self.link_load[i];
+        load.completed_transfers += 1;
+        load.work_done_us += flow.nominal_us - flow.remaining_us.max(0.0);
+        self.completed_transfers += 1;
+        let (from, to) = {
             let l = self.topology.graph.link(link);
-            l.quality
-                .sample_transfer(queued.message.size_kb, &mut self.link_rng[link.index()])
+            (l.from, l.to)
         };
-        self.link_busy[link.index()] = true;
-        self.transmissions += 1;
-        self.current_phase().transmissions += 1;
-        let gen = self.link_fail_gen[link.index()];
+        let queued = flow.queued;
+        // The copy arrives downstream exactly as in `on_send_complete`.
+        let mut ids = std::mem::take(&mut self.scope_scratch);
+        ids.clear();
+        ids.extend(queued.targets.iter().map(|t| t.subscription));
+        let scope = self.scope_interner.intern(&ids);
+        self.scope_scratch = ids;
+        let done = time + self.scheduler.processing_delay;
         self.push_event(
-            now + transfer,
-            key::send(link, queued.message.id),
-            EventKind::SendComplete { link, queued, gen },
+            done,
+            key::process(Some(link), queued.message.id),
+            EventKind::Process {
+                broker: to,
+                message: queued.message,
+                scope,
+            },
         );
+        // The departure speeds up the remaining flows; then refill the
+        // freed admission slot from the sender's queue.
+        self.reschedule_flows(link, time);
+        self.try_send(from, to, time);
     }
 
     fn on_scenario(&mut self, action: ScenarioAction, time: SimTime) -> Result<(), SimError> {
@@ -1797,6 +2192,26 @@ impl Simulation {
                 // link flaps back up before they complete. Queued copies
                 // simply wait behind the dead link.
                 self.link_fail_gen[link.index()] += 1;
+                // Under a sharing link model flows are voided eagerly: the
+                // copies return to the sender's queue at the failure
+                // instant (the sender knows its link died) and the pending
+                // FlowComplete events go stale — no live flow will match
+                // them at pop.
+                if !self.link_flows[link.index()].is_empty() {
+                    self.touch_link(link, time);
+                    let (from, to) = {
+                        let l = self.topology.graph.link(link);
+                        (l.from, l.to)
+                    };
+                    let flows = std::mem::take(&mut self.link_flows[link.index()]);
+                    for flow in flows {
+                        self.link_load[link.index()].work_done_us +=
+                            flow.nominal_us - flow.remaining_us.max(0.0);
+                        let accepted = self.brokers[from.index()].requeue(to, flow.queued);
+                        debug_assert!(accepted, "sender must have a queue for its own link");
+                    }
+                    self.note_queue_peak(link, from, to);
+                }
                 if self.link_down_depth[link.index()] == 0 {
                     self.routing_dirty = true;
                     self.mark_link_dirty(link);

@@ -37,15 +37,16 @@ pub mod sched;
 pub mod shard;
 pub mod workload;
 
+pub use bdps_net::linkmodel::{LinkModel, LinkModelKind, LinkModelRegistry};
 pub use bdps_overlay::sparse::TableLayout;
 pub use builder::SimulationBuilder;
 #[cfg(feature = "fault-injection")]
 pub use engine::InjectedFault;
 pub use engine::{
-    ConservationBalance, ConservationViolation, DuplicateDeliveryViolation, PhaseOutcome,
-    RebuildPolicy, Simulation, SimulationOutcome,
+    ConservationBalance, ConservationViolation, DuplicateDeliveryViolation, LinkLoad, PhaseOutcome,
+    RebuildPolicy, SimError, Simulation, SimulationOutcome,
 };
-pub use report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
+pub use report::{render_csv, render_markdown_table, LinkReport, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
 pub use scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
 pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, EventQueueKind, Scheduled};
@@ -58,8 +59,12 @@ pub use workload::{
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::builder::SimulationBuilder;
-    pub use crate::engine::{PhaseOutcome, RebuildPolicy, Simulation, SimulationOutcome};
-    pub use crate::report::{render_csv, render_markdown_table, PhaseReport, SimulationReport};
+    pub use crate::engine::{
+        LinkLoad, PhaseOutcome, RebuildPolicy, SimError, Simulation, SimulationOutcome,
+    };
+    pub use crate::report::{
+        render_csv, render_markdown_table, LinkReport, PhaseReport, SimulationReport,
+    };
     pub use crate::runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
     pub use crate::scenario::{DynamicScenario, ScenarioAction, ScenarioEvent, ScenarioRegistry};
     pub use crate::sched::{EventQueue, EventQueueKind};
@@ -67,5 +72,6 @@ pub mod prelude {
         ArrivalKind, BlackoutWindow, BurstConfig, ChurnConfig, LinkFailureConfig, Scenario,
         WorkloadConfig,
     };
+    pub use bdps_net::linkmodel::{LinkModel, LinkModelKind, LinkModelRegistry};
     pub use bdps_overlay::sparse::TableLayout;
 }

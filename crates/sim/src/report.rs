@@ -3,8 +3,9 @@
 use bdps_core::strategy::StrategyHandle;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{PhaseOutcome, SimulationOutcome};
+use crate::engine::{LinkLoad, PhaseOutcome, SimulationOutcome};
 use crate::workload::{Scenario, WorkloadConfig};
+use bdps_types::time::SimTime;
 
 /// Per-phase metrics of one run, with NaN-free statistics: a phase during
 /// which nothing was delivered (an all-links-down blackout, say) reports
@@ -50,6 +51,60 @@ impl PhaseReport {
             transmissions: phase.transmissions,
             mean_valid_delay_ms: delays.mean(),
             p95_valid_delay_ms: delays.try_quantile(0.95).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Per-link utilisation and queueing metrics of one run, derived from the
+/// engine's [`LinkLoad`] counters. All fields are deterministic: the
+/// underlying counters are integer microseconds, so the sharded executor
+/// reproduces them bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkReport {
+    /// The link's index (see `Topology::graph`).
+    pub link: usize,
+    /// Transfers started on the link.
+    pub transmissions: u64,
+    /// Transfers that completed (not voided by a failure).
+    pub completed_transfers: u64,
+    /// Fraction of the run the link spent with at least one flow in flight
+    /// (`busy_us / finished_at`). Under fair sharing a value near 1.0 means
+    /// the link is saturated — the congestion signal delay-only links can
+    /// never show.
+    pub utilisation: f64,
+    /// Mean number of concurrent flows while busy (`flow_time_us /
+    /// busy_us`; exactly 1.0 under the exclusive constant-delay model).
+    pub mean_concurrency: f64,
+    /// Most flows ever in flight at once (≤ the fair-share admission cap;
+    /// 0 or 1 under the exclusive model).
+    pub peak_flows: u64,
+    /// Deepest the sender's output queue for this link ever got, sampled at
+    /// enqueue and requeue points.
+    pub peak_queue: u64,
+}
+
+impl LinkReport {
+    /// Converts an engine-side per-link accumulator into its report row.
+    pub fn from_load(link: usize, load: &LinkLoad, finished_at: SimTime) -> Self {
+        let total_us = finished_at.as_micros();
+        let utilisation = if total_us > 0 {
+            load.busy_us as f64 / total_us as f64
+        } else {
+            0.0
+        };
+        let mean_concurrency = if load.busy_us > 0 {
+            load.flow_time_us as f64 / load.busy_us as f64
+        } else {
+            0.0
+        };
+        LinkReport {
+            link,
+            transmissions: load.transmissions,
+            completed_transfers: load.completed_transfers,
+            utilisation,
+            mean_concurrency,
+            peak_flows: load.peak_flows,
+            peak_queue: load.peak_queue,
         }
     }
 }
@@ -101,6 +156,11 @@ pub struct SimulationReport {
     pub mean_valid_delay_ms: f64,
     /// Per-phase breakdown (a single "run" phase for static scenarios).
     pub phases: Vec<PhaseReport>,
+    /// Per-link utilisation/queueing breakdown, indexed by link id. Defaults
+    /// on deserialisation so reports serialised before the link-model axis
+    /// existed still load.
+    #[serde(default)]
+    pub links: Vec<LinkReport>,
 }
 
 impl SimulationReport {
@@ -140,6 +200,12 @@ impl SimulationReport {
                 .iter()
                 .map(PhaseReport::from_outcome)
                 .collect(),
+            links: outcome
+                .link_loads
+                .iter()
+                .enumerate()
+                .map(|(i, load)| LinkReport::from_load(i, load, outcome.finished_at))
+                .collect(),
         }
     }
 
@@ -174,6 +240,54 @@ impl SimulationReport {
                 "sent",
                 "mean ms",
                 "p95 ms",
+            ],
+            &rows,
+        )
+    }
+
+    /// The highest per-link utilisation of the run (0 when the run had no
+    /// links or never transmitted) — the saturation headline of congestion
+    /// sweeps.
+    pub fn max_link_utilisation(&self) -> f64 {
+        self.links.iter().map(|l| l.utilisation).fold(0.0, f64::max)
+    }
+
+    /// Renders the busiest links as a Markdown table (up to `top` rows,
+    /// sorted by descending utilisation; ties break on the link index so the
+    /// rendering is deterministic).
+    pub fn link_table(&self, top: usize) -> String {
+        let mut links: Vec<&LinkReport> =
+            self.links.iter().filter(|l| l.transmissions > 0).collect();
+        links.sort_by(|a, b| {
+            b.utilisation
+                .partial_cmp(&a.utilisation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.link.cmp(&b.link))
+        });
+        links.truncate(top);
+        let rows: Vec<Vec<String>> = links
+            .iter()
+            .map(|l| {
+                vec![
+                    l.link.to_string(),
+                    l.transmissions.to_string(),
+                    l.completed_transfers.to_string(),
+                    format!("{:.1}", l.utilisation * 100.0),
+                    format!("{:.2}", l.mean_concurrency),
+                    l.peak_flows.to_string(),
+                    l.peak_queue.to_string(),
+                ]
+            })
+            .collect();
+        render_markdown_table(
+            &[
+                "link",
+                "sent",
+                "completed",
+                "util %",
+                "mean flows",
+                "peak flows",
+                "peak queue",
             ],
             &rows,
         )
@@ -273,6 +387,7 @@ mod tests {
             transmissions: 90_000,
             mean_valid_delay_ms: 4_200.0,
             phases: Vec::new(),
+            links: Vec::new(),
         }
     }
 

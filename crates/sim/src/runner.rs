@@ -12,6 +12,7 @@
 use bdps_core::config::{SchedulerConfig, StrategyKind};
 use bdps_core::strategy::{StrategyHandle, StrategyRegistry};
 use bdps_net::link::LinkQuality;
+use bdps_net::linkmodel::LinkModelKind;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::sparse::TableLayout;
 use bdps_overlay::topology::{LayeredMeshConfig, Topology};
@@ -81,6 +82,13 @@ pub struct SimulationConfig {
     /// by default; both layouts yield bit-identical results, see
     /// [`TableLayout`]).
     pub table_layout: TableLayout,
+    /// The link transfer-time model (constant delay by default — the
+    /// paper's one-transfer-at-a-time sampled rate). Unlike the two axes
+    /// above this one *changes results*: fair-share runs model congestion.
+    /// Defaults on deserialisation so pre-existing configs keep their
+    /// constant-delay meaning.
+    #[serde(default)]
+    pub link_model: LinkModelKind,
     /// How many broker shards advance the event loop (1 = the sequential
     /// reference loop; N > 1 runs the conservative time-window executor on
     /// N worker threads, see [`crate::shard`]). Every shard count yields

@@ -72,7 +72,11 @@ use bdps_types::money::Price;
 use bdps_types::time::{Duration, SimTime};
 use std::sync::Arc;
 
-use crate::engine::{key, EventKind, PhaseOutcome, SimError, Simulation, SimulationOutcome};
+use bdps_net::linkmodel::{LinkModel, LinkModelKind};
+
+use crate::engine::{
+    key, EventKind, LinkLoad, PhaseOutcome, SimError, Simulation, SimulationOutcome,
+};
 use crate::sched::{EventQueue, Scheduled};
 
 /// Windows pop up to `W1 − ε` inclusive; one microsecond is the clock's
@@ -96,12 +100,26 @@ pub fn run_sharded(sim: Simulation, shards: usize) -> SimulationOutcome {
 /// Falls back to the sequential loop when sharding cannot help or the
 /// lookahead bound is void: one shard requested, fewer brokers than would
 /// fill two shards, or a zero processing delay (no lookahead).
+///
+/// # Errors
+///
+/// Returns [`SimError::ShardedLinkModelUnsupported`] when more than one
+/// shard would actually run and the configured link model is not the
+/// constant-delay oracle: a sharing model's completion re-scheduling can
+/// *move* an already-scheduled completion, so a cross-shard `Process`
+/// arrival is no longer pinned at `t + PD` and the conservative window
+/// argument above does not hold.
 pub fn try_run_sharded(mut sim: Simulation, shards: usize) -> Result<SimulationOutcome, SimError> {
     sim.build_brokers();
     let pd = sim.scheduler.processing_delay;
     let n = shards.min(sim.brokers.len());
     if n <= 1 || pd == Duration::ZERO {
         return sim.try_run();
+    }
+    if sim.link_model_kind != LinkModelKind::Constant {
+        return Err(SimError::ShardedLinkModelUnsupported {
+            model: sim.link_model_kind.name(),
+        });
     }
 
     let homes = Homes::build(&sim, n);
@@ -193,10 +211,11 @@ impl Homes {
 /// The state one shard owns outright: its brokers, its event queue, and the
 /// RNG streams / counters of the publishers and links homed to it.
 ///
-/// `publisher_rng`, `link_rng`, `next_message` and `link_busy` are
-/// full-length vectors for direct indexing; only the slots of entities homed
-/// to this shard are live (the rest hold inert placeholders), and only live
-/// slots are exchanged with the [`Simulation`] at gather/scatter.
+/// `publisher_rng`, `link_rng`, `next_message`, `link_busy`,
+/// `link_last_change` and `link_load` are full-length vectors for direct
+/// indexing; only the slots of entities homed to this shard are live (the
+/// rest hold inert placeholders), and only live slots are exchanged with the
+/// [`Simulation`] at gather/scatter.
 struct ShardCore {
     shard: usize,
     broker_lo: usize,
@@ -206,6 +225,8 @@ struct ShardCore {
     link_rng: Vec<SimRng>,
     next_message: Vec<u64>,
     link_busy: Vec<bool>,
+    link_last_change: Vec<SimTime>,
+    link_load: Vec<LinkLoad>,
     scope_interner: ScopeInterner,
     scope_scratch: Vec<SubscriptionId>,
     effects: Vec<Logged>,
@@ -227,6 +248,10 @@ struct ShardGlobals<'a> {
     topology: &'a bdps_overlay::topology::Topology,
     global_index: &'a bdps_filter::index::MatchIndex,
     workload: &'a crate::workload::WorkloadConfig,
+    /// Always the constant-delay oracle (the guard in [`try_run_sharded`]
+    /// rejects sharing models), but sampling still goes through the trait so
+    /// the sharded path has no second transfer-time code path.
+    link_model: &'a dyn LinkModel,
     processing_delay: Duration,
     end: SimTime,
     link_of: &'a [Vec<Option<LinkId>>],
@@ -287,6 +312,8 @@ fn init_cores(
             link_rng: (0..links).map(|_| SimRng::seed_from(0)).collect(),
             next_message: sim.next_message.clone(),
             link_busy: sim.link_busy.clone(),
+            link_last_change: sim.link_last_change.clone(),
+            link_load: sim.link_load.clone(),
             scope_interner: ScopeInterner::new(),
             scope_scratch: Vec::new(),
             effects: Vec::new(),
@@ -317,6 +344,7 @@ fn route_event(cores: &mut [ShardCore], homes: &Homes, ev: Scheduled<EventKind>)
         EventKind::Publish { publisher, .. } => homes.publisher[publisher.index()],
         EventKind::Process { broker, .. } => homes.shard_of_broker[broker.index()],
         EventKind::SendComplete { link, .. } => homes.link[link.index()],
+        EventKind::FlowComplete { link, .. } => homes.link[link.index()],
         EventKind::Scenario { .. } => unreachable!("scenario events are coordinator-owned"),
     };
     let core = &mut cores[shard];
@@ -339,6 +367,8 @@ fn gather(sim: &mut Simulation, cores: &mut [ShardCore], homes: &Homes) {
     for (i, &s) in homes.link.iter().enumerate() {
         std::mem::swap(&mut sim.link_rng[i], &mut cores[s].link_rng[i]);
         sim.link_busy[i] = cores[s].link_busy[i];
+        sim.link_last_change[i] = cores[s].link_last_change[i];
+        sim.link_load[i] = cores[s].link_load[i].clone();
     }
 }
 
@@ -362,6 +392,8 @@ fn scatter(sim: &mut Simulation, cores: &mut [ShardCore], homes: &Homes) {
     for core in cores.iter_mut() {
         core.next_message.copy_from_slice(&sim.next_message);
         core.link_busy.copy_from_slice(&sim.link_busy);
+        core.link_last_change.copy_from_slice(&sim.link_last_change);
+        core.link_load.clone_from_slice(&sim.link_load);
     }
 }
 
@@ -426,6 +458,7 @@ fn run_era(
         topology: &sim.topology,
         global_index: &sim.global_index,
         workload: &sim.workload,
+        link_model: &*sim.link_model,
         processing_delay: pd,
         end: sim.end,
         link_of: &sim.link_of,
@@ -626,6 +659,9 @@ fn run_core_window(core: &mut ShardCore, g: &ShardGlobals<'_>, limit: SimTime) {
             EventKind::SendComplete { link, queued, gen } => {
                 core.on_send_complete(g, link, queued, gen, entry.time)
             }
+            EventKind::FlowComplete { .. } => {
+                unreachable!("sharded execution is guarded to the constant-delay link model")
+            }
             EventKind::Scenario { .. } => {
                 unreachable!("scenario events never reach a shard queue")
             }
@@ -667,6 +703,31 @@ impl ShardCore {
 
     fn broker_mut(&mut self, broker: BrokerId) -> &mut BrokerState {
         &mut self.brokers[broker.index() - self.broker_lo]
+    }
+
+    /// Mirror of the engine's `touch_link` specialised to the exclusive
+    /// model the sharded path is guarded to: the flow table is always empty,
+    /// so the busy flag *is* the active-flow count.
+    fn touch_link(&mut self, li: usize, now: SimTime) {
+        let elapsed = now.duration_since(self.link_last_change[li]).as_micros();
+        self.link_last_change[li] = now;
+        if elapsed == 0 || !self.link_busy[li] {
+            return;
+        }
+        let load = &mut self.link_load[li];
+        load.busy_us += elapsed;
+        load.flow_time_us += elapsed;
+    }
+
+    /// Mirror of the engine's `note_queue_peak`; the sender broker is homed
+    /// with the link, so the queue is always shard-local.
+    fn note_queue_peak(&mut self, link: LinkId, from: BrokerId, to: BrokerId) {
+        let depth = self.brokers[from.index() - self.broker_lo]
+            .queue(to)
+            .map(|q| q.len() as u64)
+            .unwrap_or(0);
+        let load = &mut self.link_load[link.index()];
+        load.peak_queue = load.peak_queue.max(depth);
     }
 
     fn push_local(&mut self, time: SimTime, key: u64, kind: EventKind) {
@@ -768,6 +829,9 @@ impl ShardCore {
             });
         }
         for neighbor in outcome.enqueued_to {
+            if let Some(link) = g.link_of[broker.index()][neighbor.index()] {
+                self.note_queue_peak(link, broker, neighbor);
+            }
             self.try_send(g, broker, neighbor, time);
         }
     }
@@ -785,17 +849,20 @@ impl ShardCore {
             (l.from, l.to)
         };
         let li = link.index();
+        self.touch_link(li, time);
         self.link_busy[li] = false;
         if g.link_down_depth[li] != 0 || gen != g.link_fail_gen[li] {
             // Voided transfer: the copy returns to the sender's queue.
             let accepted = self.broker_mut(from).requeue(to, queued);
             debug_assert!(accepted, "sender must have a queue for its own link");
+            self.note_queue_peak(link, from, to);
             if g.link_down_depth[li] == 0 {
                 self.try_send(g, from, to, time);
             }
             return;
         }
         self.emit(Effect::CompletedTransfer);
+        self.link_load[li].completed_transfers += 1;
         let mut ids = std::mem::take(&mut self.scope_scratch);
         ids.clear();
         ids.extend(queued.targets.iter().map(|t| t.subscription));
@@ -843,10 +910,14 @@ impl ShardCore {
         };
         let transfer = {
             let l = g.topology.graph.link(link);
-            l.quality
-                .sample_transfer(queued.message.size_kb, &mut self.link_rng[li])
+            g.link_model
+                .sample_transfer(&l.quality, queued.message.size_kb, &mut self.link_rng[li])
         };
+        self.touch_link(li, now);
         self.link_busy[li] = true;
+        let load = &mut self.link_load[li];
+        load.transmissions += 1;
+        load.peak_flows = load.peak_flows.max(1);
         self.emit(Effect::Transmission);
         let gen = g.link_fail_gen[li];
         self.push_local(
