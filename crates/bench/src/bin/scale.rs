@@ -14,6 +14,7 @@
 //! [--scenarios churn,chaos] [--strategies fifo] [--seed N]
 //! [--rebuild-policy full|incremental] [--table-layout dense,sparse]
 //! [--shards 1,2,8] [--link-model constant,fair-share]
+//! [--forwarding exact,aggregate]
 //! [--out BENCH_scale.json]
 //! [--check bench/baseline.json] [--max-regression 0.25]`.
 //!
@@ -23,7 +24,11 @@
 //! never gated against each other. The link model is part of the key too
 //! (baselines from before the axis existed default to `constant`), and
 //! fair-share cells are skipped at `shards > 1` — the sharded executor
-//! rejects sharing models by design.
+//! rejects sharing models by design. `--forwarding aggregate` measures
+//! edge-only scope expansion: the forwarding mode joins the key (old
+//! baselines default to `exact`), aggregate cells are skipped under the
+//! dense layout and under `shards > 1` (both rejected by the engine), and
+//! the run reports each aggregate cell's false-positive forwarding rate.
 //!
 //! With `--check <baseline>`, every cell present in the baseline is compared
 //! by events/sec and the process exits non-zero when any regresses by more
@@ -40,7 +45,7 @@ use std::time::Instant;
 
 const SCALE_FLAGS_HELP: &str = "--quick | --populations <n,n,..> | --queues <heap,calendar> \
      | --rebuild-policy <full|incremental> | --table-layout <dense,sparse> \
-     | --shards <1,2,..> | --passes <n> | --out <path> \
+     | --shards <1,2,..> | --forwarding <exact,aggregate> | --passes <n> | --out <path> \
      | --check <baseline.json> | --max-regression <frac>";
 
 /// Default populations of the full sweep (paper mesh: multiples of the 16
@@ -57,6 +62,7 @@ struct ScaleOptions {
     rebuild_policy: RebuildPolicy,
     layouts: Vec<TableLayout>,
     shards: Vec<usize>,
+    forwardings: Vec<ForwardingMode>,
     out: String,
     check: Option<String>,
     max_regression: f64,
@@ -75,6 +81,7 @@ impl ScaleOptions {
             rebuild_policy: RebuildPolicy::default(),
             layouts: TableLayout::ALL.to_vec(),
             shards: vec![1],
+            forwardings: vec![ForwardingMode::Exact],
             out: "BENCH_scale.json".to_string(),
             check: None,
             max_regression: 0.25,
@@ -141,6 +148,19 @@ impl ScaleOptions {
                             })
                             .collect::<Result<_, _>>()?;
                     }
+                    "--forwarding" => {
+                        opts.forwardings = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|name| {
+                                ForwardingMode::from_name(name).ok_or_else(|| {
+                                    format!(
+                                        "unknown forwarding mode {name:?}; known: exact, aggregate"
+                                    )
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
                     "--passes" => {
                         opts.passes = parser.parse_value(&flag)?;
                         if opts.passes == 0 {
@@ -198,6 +218,7 @@ struct Cell {
     table_layout: TableLayout,
     shards: usize,
     link_model: LinkModelKind,
+    forwarding: ForwardingMode,
     duration_secs: u64,
     build_secs: f64,
     wall_secs: f64,
@@ -206,6 +227,8 @@ struct Cell {
     peak_pending_events: u64,
     published: u64,
     on_time: u64,
+    transmissions: u64,
+    false_positive_forwards: u64,
     scope_interns: u64,
     scope_intern_hits: u64,
     tables_rebuilt_full: u64,
@@ -218,25 +241,33 @@ struct Cell {
 impl Cell {
     fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/s{}/{}",
+            "{}/{}/{}/{}/{}/s{}/{}/{}",
             self.population,
             self.scenario,
             self.queue,
             self.rebuild_policy.name(),
             self.table_layout.name(),
             self.shards,
-            self.link_model.name()
+            self.link_model.name(),
+            self.forwarding.name()
         )
+    }
+
+    /// Fraction of transmissions that were false-positive forwards — interior
+    /// copies the covering summaries admitted but no edge subscriber matched.
+    fn false_positive_rate(&self) -> f64 {
+        self.false_positive_forwards as f64 / self.transmissions.max(1) as f64
     }
 
     fn to_json_line(&self) -> String {
         format!(
             "    {{\"population\": {}, \"scenario\": \"{}\", \"queue\": \"{}\", \
              \"strategy\": \"{}\", \"rebuild_policy\": \"{}\", \"table_layout\": \"{}\", \
-             \"shards\": {}, \"link_model\": \"{}\", \
+             \"shards\": {}, \"link_model\": \"{}\", \"forwarding\": \"{}\", \
              \"duration_secs\": {}, \"build_secs\": {:.3}, \
              \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"published\": {}, \"on_time\": {}, \
+             \"transmissions\": {}, \"false_positive_forwards\": {}, \
              \"scope_interns\": {}, \"scope_intern_hits\": {}, \
              \"tables_rebuilt_full\": {}, \"entries_retargeted\": {}, \
              \"aggregate_entries\": {}, \"expanded_at_edge\": {}, \
@@ -249,6 +280,7 @@ impl Cell {
             self.table_layout.name(),
             self.shards,
             self.link_model.name(),
+            self.forwarding.name(),
             self.duration_secs,
             self.build_secs,
             self.wall_secs,
@@ -257,6 +289,8 @@ impl Cell {
             self.peak_pending_events,
             self.published,
             self.on_time,
+            self.transmissions,
+            self.false_positive_forwards,
             self.scope_interns,
             self.scope_intern_hits,
             self.tables_rebuilt_full,
@@ -304,6 +338,7 @@ fn run_cell(
     layout: TableLayout,
     shards: usize,
     link_model: LinkModelKind,
+    forwarding: ForwardingMode,
     strategy: &bdps_core::strategy::StrategyHandle,
 ) -> Cell {
     let (mesh, actual_population) = mesh_for(population);
@@ -318,6 +353,7 @@ fn run_cell(
         .rebuild_policy(opts.rebuild_policy)
         .table_layout(layout)
         .link_model(link_model)
+        .forwarding(forwarding)
         .seed(opts.common.seed);
     let mut best: Option<Cell> = None;
     for _ in 0..opts.passes {
@@ -340,6 +376,7 @@ fn run_cell(
             table_layout: layout,
             shards,
             link_model,
+            forwarding,
             duration_secs,
             build_secs,
             wall_secs,
@@ -348,6 +385,8 @@ fn run_cell(
             peak_pending_events: outcome.peak_pending_events,
             published: outcome.published,
             on_time: outcome.tracker.total_on_time(),
+            transmissions: outcome.transmissions,
+            false_positive_forwards: outcome.false_positive_forwards(),
             scope_interns: outcome.scope_interns,
             scope_intern_hits: outcome.scope_intern_hits,
             tables_rebuilt_full: outcome.tables_rebuilt_full,
@@ -392,13 +431,14 @@ fn extract(line: &str, key: &str) -> Option<String> {
     }
 }
 
-/// `(population/scenario/queue/policy/layout/shards/model, events_per_sec)`
-/// pairs from a baseline file. The rebuild policy, table layout, shard
-/// count and link model are part of the key so a full-policy,
-/// sparse-layout, multi-shard or fair-share run is never gated against
-/// baselines measured under another mode (their events/sec are not
-/// comparable); baselines from before an axis existed default to its
-/// historical value ("incremental" / "dense" / 1 shard / "constant").
+/// `(population/scenario/queue/policy/layout/shards/model/forwarding,
+/// events_per_sec)` pairs from a baseline file. The rebuild policy, table
+/// layout, shard count, link model and forwarding mode are part of the key
+/// so a full-policy, sparse-layout, multi-shard, fair-share or
+/// aggregate-forwarding run is never gated against baselines measured under
+/// another mode (their events/sec are not comparable); baselines from
+/// before an axis existed default to its historical value ("incremental" /
+/// "dense" / 1 shard / "constant" / "exact").
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter(|line| line.contains("\"population\""))
@@ -411,9 +451,12 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             let layout = extract(line, "table_layout").unwrap_or_else(|| "dense".to_string());
             let shards = extract(line, "shards").unwrap_or_else(|| "1".to_string());
             let model = extract(line, "link_model").unwrap_or_else(|| "constant".to_string());
+            let forwarding = extract(line, "forwarding").unwrap_or_else(|| "exact".to_string());
             let eps: f64 = extract(line, "events_per_sec")?.parse().ok()?;
             Some((
-                format!("{population}/{scenario}/{queue}/{policy}/{layout}/s{shards}/{model}"),
+                format!(
+                    "{population}/{scenario}/{queue}/{policy}/{layout}/s{shards}/{model}/{forwarding}"
+                ),
                 eps,
             ))
         })
@@ -555,17 +598,36 @@ fn main() {
                                 );
                                 continue;
                             }
-                            let cell = run_cell(
-                                &opts, population, scenario, queue, layout, shards, model, strategy,
-                            );
-                            println!(
-                        "- {:>7} subs · {:<11} · {:<8} · {:<6} · s{} · {:<10}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables)",
+                            for &forwarding in &opts.forwardings {
+                                if forwarding == ForwardingMode::Aggregate
+                                    && layout == TableLayout::Dense
+                                {
+                                    println!(
+                                        "- note: skipping aggregate forwarding under the dense \
+                                         layout (needs the shared-population registry)"
+                                    );
+                                    continue;
+                                }
+                                if forwarding == ForwardingMode::Aggregate && shards > 1 {
+                                    println!(
+                                        "- note: skipping aggregate forwarding at s{shards} (the \
+                                         sharded executor rejects edge expansion)"
+                                    );
+                                    continue;
+                                }
+                                let cell = run_cell(
+                                    &opts, population, scenario, queue, layout, shards, model,
+                                    forwarding, strategy,
+                                );
+                                println!(
+                        "- {:>7} subs · {:<11} · {:<8} · {:<6} · s{} · {:<10} · {:<9}: {:>9.0} events/sec ({} events in {:.2} s wall, peak queue {}, scope hit rate {:.0} %, {} entries retargeted, {} full table rebuilds, {} aggregates, {:.1} MB tables, fp rate {:.1} %)",
                         cell.population,
                         cell.scenario,
                         cell.queue.name(),
                         cell.table_layout.name(),
                         cell.shards,
                         cell.link_model.name(),
+                        cell.forwarding.name(),
                         cell.events_per_sec,
                         cell.events,
                         cell.wall_secs,
@@ -575,8 +637,10 @@ fn main() {
                         cell.tables_rebuilt_full,
                         cell.aggregate_entries,
                         cell.table_bytes_estimate as f64 / 1e6,
+                        100.0 * cell.false_positive_rate(),
                     );
-                            cells.push(cell);
+                                cells.push(cell);
+                            }
                         }
                     }
                 }
@@ -599,6 +663,7 @@ fn main() {
                             && c.table_layout == layout
                             && c.shards == opts.shards[0]
                             && c.link_model == link_models[0]
+                            && c.forwarding == opts.forwardings[0]
                     })
                 };
                 if let (Some(heap), Some(calendar)) = (
@@ -654,6 +719,7 @@ fn main() {
                             && c.table_layout == scaling_layout
                             && c.shards == shards
                             && c.link_model == LinkModelKind::Constant
+                            && c.forwarding == ForwardingMode::Exact
                     })
                 };
                 let Some(base) = find(1) else { continue };
@@ -692,6 +758,66 @@ fn main() {
         }
     }
 
+    // The forwarding headline: exact-vs-aggregate events/sec and the
+    // false-positive traffic the covers admit — the trade the aggregate
+    // mode exists for (publish-side matching cost vs extra interior copies).
+    if opts.forwardings.contains(&ForwardingMode::Exact)
+        && opts.forwardings.contains(&ForwardingMode::Aggregate)
+    {
+        println!(
+            "\n## events/sec by forwarding mode (speedup = aggregate / exact, sparse layout)\n"
+        );
+        let forwarding_queue = opts.queues[0];
+        let mut rows = Vec::new();
+        for &population in &opts.populations {
+            let (_, actual) = mesh_for(population);
+            for scenario in &scenarios {
+                let find = |forwarding: ForwardingMode| {
+                    cells.iter().find(|c| {
+                        c.population == actual
+                            && c.scenario == scenario.name
+                            && c.queue == forwarding_queue
+                            && c.table_layout == TableLayout::Sparse
+                            && c.shards == 1
+                            && c.link_model == link_models[0]
+                            && c.forwarding == forwarding
+                    })
+                };
+                if let (Some(exact), Some(aggregate)) =
+                    (find(ForwardingMode::Exact), find(ForwardingMode::Aggregate))
+                {
+                    rows.push(vec![
+                        format!("{actual}"),
+                        scenario.name.clone(),
+                        format!("{:.0}", exact.events_per_sec),
+                        format!("{:.0}", aggregate.events_per_sec),
+                        format!(
+                            "{:.2}x",
+                            aggregate.events_per_sec / exact.events_per_sec.max(1e-9)
+                        ),
+                        format!("{:.1} %", 100.0 * aggregate.false_positive_rate()),
+                    ]);
+                }
+            }
+        }
+        if !rows.is_empty() {
+            println!(
+                "{}",
+                render_markdown_table(
+                    &[
+                        "population",
+                        "scenario",
+                        "exact ev/s",
+                        "aggregate ev/s",
+                        "speedup",
+                        "false-positive rate"
+                    ],
+                    &rows
+                )
+            );
+        }
+    }
+
     // The memory headline: dense-vs-sparse table bytes per (population,
     // scenario) — the axis the sparse layout exists for.
     if opts.layouts.contains(&TableLayout::Dense) && opts.layouts.contains(&TableLayout::Sparse) {
@@ -711,6 +837,7 @@ fn main() {
                             && c.table_layout == layout
                             && c.shards == opts.shards[0]
                             && c.link_model == link_models[0]
+                            && c.forwarding == opts.forwardings[0]
                     })
                 };
                 if let (Some(dense), Some(sparse)) =

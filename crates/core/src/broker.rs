@@ -17,8 +17,12 @@ use crate::queue::{DropReason, DropRecord, MatchedTarget, OutputQueue, QueuedMes
 use bdps_filter::scope::ScopeSet;
 use bdps_filter::subscription::Subscription;
 use bdps_overlay::graph::OverlayGraph;
+use bdps_overlay::pathstats::PathStats;
 use bdps_overlay::routing::Routing;
-use bdps_overlay::sparse::{BrokerTable, PopulationHandle, ResolvedEntry, TableLayout};
+use bdps_overlay::sparse::{
+    aggregate_scope_dest, read_population, BrokerTable, PopulationHandle, ResolvedEntry,
+    TableLayout,
+};
 use bdps_overlay::subtable::{RetargetOutcome, SubTableEntry};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
 use bdps_types::message::Message;
@@ -90,6 +94,15 @@ pub struct BrokerCounters {
     /// interior brokers route on aggregates and only edge brokers expand to
     /// concrete subscribers.
     pub expanded_at_edge: u64,
+    /// Aggregate-scoped copies that crossed at least one link to this edge
+    /// broker and then expanded to **zero** member matches — the traffic a
+    /// cover's false positive actually cost. Non-zero only under
+    /// aggregate-scoped forwarding.
+    pub false_positive_forwards: u64,
+    /// Aggregate expansions at this edge broker that produced zero member
+    /// matches (including publisher-local ones that never crossed a link).
+    /// Always ≥ `false_positive_forwards`.
+    pub false_positive_drops_at_edge: u64,
 }
 
 impl BrokerCounters {
@@ -207,6 +220,8 @@ impl BrokerState {
             c.delivered_on_time,
             c.delivered_late,
             c.expanded_at_edge,
+            c.false_positive_forwards,
+            c.false_positive_drops_at_edge,
         ] {
             h.write_u64(v);
         }
@@ -323,6 +338,136 @@ impl BrokerState {
                     stats: e.stats,
                 })
                 .collect();
+            queue.push(QueuedMessage {
+                message: Arc::clone(&message),
+                targets,
+                enqueue_time: now,
+            });
+            self.counters.enqueued += 1;
+            outcome.enqueued_to.push(neighbor);
+        }
+        outcome.enqueued_to.sort_unstable();
+        outcome
+    }
+
+    /// Processes an arriving message whose scope consists of **aggregate
+    /// sentinels** (see [`bdps_overlay::sparse::aggregate_scope_id`]): one id
+    /// per destination edge broker instead of one per subscription — the
+    /// aggregate-scoped forwarding hot path.
+    ///
+    /// A sentinel naming *this* broker expands here, once, at the edge:
+    /// the shared registry's group is enumerated, members that joined after
+    /// `publish_epoch` are skipped (reproducing the exact mode's
+    /// publish-time scope freeze), and each remaining member's filter is
+    /// re-matched against the head — so a cover's false positive forwards
+    /// traffic but never delivers. A sentinel naming a *remote* destination
+    /// is forwarded as-is: one pseudo-target per destination, grouped per
+    /// next hop, carrying the aggregate's path stats, `Price::ZERO` (edge
+    /// expansion earns; interior copies do not) and an unbounded
+    /// subscriber delay (interior brokers cannot know member deadlines, so
+    /// only the publisher bound can expire an aggregate copy in flight).
+    ///
+    /// `via_link` is true when the copy arrived over a link (false for the
+    /// publisher hand-off) and attributes zero-match expansions to
+    /// `false_positive_forwards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the broker uses the dense layout — aggregate forwarding
+    /// requires the shared registry.
+    pub fn handle_arrival_aggregate(
+        &mut self,
+        message: Arc<Message>,
+        now: SimTime,
+        scope: &ScopeSet,
+        publish_epoch: u64,
+        via_link: bool,
+    ) -> ArrivalOutcome {
+        self.counters.received += 1;
+        let mut outcome = ArrivalOutcome::default();
+        let table = self
+            .table
+            .as_sparse()
+            .expect("aggregate forwarding requires the sparse layout");
+        let mut local: Vec<ResolvedEntry> = Vec::new();
+        // Like handle_arrival_scoped, the BTreeMap keeps neighbour groups in
+        // ascending broker order; sentinels are monotone in the destination,
+        // so each copy's target list stays ascending too.
+        let mut remote: BTreeMap<BrokerId, Vec<MatchedTarget>> = BTreeMap::new();
+        {
+            let pop = read_population(table.population());
+            for id in scope.iter() {
+                let Some(dest) = aggregate_scope_dest(id) else {
+                    debug_assert!(false, "aggregate scope carries a member id {id}");
+                    continue;
+                };
+                if dest == self.id {
+                    let before = local.len();
+                    if let Some(group) = pop.group(dest) {
+                        for &member in group.ids() {
+                            let record = pop.member(member).expect("group member registered");
+                            if record.join_epoch > publish_epoch {
+                                continue; // joined after the publish snapshot
+                            }
+                            if !record.subscription.filter.matches(&message.head) {
+                                continue;
+                            }
+                            local.push(ResolvedEntry {
+                                subscription: member,
+                                subscriber: record.subscription.subscriber,
+                                price: record.subscription.price,
+                                allowed_delay: record.subscription.allowed_delay(),
+                                next_hop: None,
+                                next_link: None,
+                                stats: PathStats::local(),
+                            });
+                        }
+                    }
+                    if local.len() == before {
+                        self.counters.false_positive_drops_at_edge += 1;
+                        if via_link {
+                            self.counters.false_positive_forwards += 1;
+                        }
+                    }
+                } else {
+                    let Some(agg) = table.aggregate(dest) else {
+                        continue; // group emptied or destination unreachable
+                    };
+                    remote.entry(agg.next_hop).or_default().push(MatchedTarget {
+                        subscription: id,
+                        subscriber: SubscriberId::new(dest.raw()),
+                        price: Price::ZERO,
+                        allowed_delay: effective_allowed_delay(&message, Duration::MAX),
+                        stats: agg.stats,
+                    });
+                }
+            }
+        }
+        self.counters.expanded_at_edge += local.len() as u64;
+
+        for entry in local {
+            let allowed_delay = effective_allowed_delay(&message, entry.allowed_delay);
+            let delay = message.elapsed(now);
+            let on_time = delay <= allowed_delay;
+            if on_time {
+                self.counters.delivered_on_time += 1;
+            } else {
+                self.counters.delivered_late += 1;
+            }
+            outcome.local.push(LocalDelivery {
+                subscription: entry.subscription,
+                subscriber: entry.subscriber,
+                price: entry.price,
+                delay,
+                allowed_delay,
+                on_time,
+            });
+        }
+
+        for (neighbor, targets) in remote {
+            let Some(queue) = self.queues.get_mut(&neighbor) else {
+                continue;
+            };
             queue.push(QueuedMessage {
                 message: Arc::clone(&message),
                 targets,
@@ -826,6 +971,106 @@ mod tests {
             b1.table().layout(),
             bdps_overlay::sparse::TableLayout::Dense
         );
+    }
+
+    /// Aggregate-scoped arrivals: edge expansion delivers exactly the
+    /// epoch-eligible member matches, remote sentinels forward as
+    /// pseudo-targets, and zero-match expansions are counted as false
+    /// positives.
+    #[test]
+    fn aggregate_arrival_expands_at_the_edge_and_counts_false_positives() {
+        use bdps_overlay::sparse::{aggregate_scope_id, SharedPopulation, SparseTable};
+        use std::sync::RwLock;
+        let s = setup();
+        let pop = Arc::new(RwLock::new(SharedPopulation::from_population(&s.subs)));
+        let publish_epoch = pop.read().unwrap().epoch();
+        let make = |id: u32| {
+            let id = BrokerId::new(id);
+            BrokerState::from_overlay(
+                &s.topo.graph,
+                id,
+                SparseTable::build(id, &s.routing, &pop),
+                SchedulerConfig::paper(StrategyKind::MaxEb),
+            )
+        };
+        // Scope: all three edge groups (B0, B1, B2), ascending — sentinels
+        // are monotone in the destination.
+        let scope = ScopeSet::from_sorted(vec![
+            aggregate_scope_id(BrokerId::new(0)),
+            aggregate_scope_id(BrokerId::new(1)),
+            aggregate_scope_id(BrokerId::new(2)),
+        ]);
+
+        // Head (1,1) matches every filter. At B0 the self sentinel expands
+        // to local S2; the two remote sentinels share the copy towards B1.
+        let mut b0 = make(0);
+        let outcome = b0.handle_arrival_aggregate(
+            msg(1, 1.0, 1.0, 0),
+            SimTime::from_millis(2),
+            &scope,
+            publish_epoch,
+            false,
+        );
+        assert_eq!(outcome.local.len(), 1);
+        assert_eq!(outcome.local[0].subscriber, SubscriberId::new(2));
+        assert_eq!(outcome.enqueued_to, vec![BrokerId::new(1)]);
+        let q = b0.queue(BrokerId::new(1)).unwrap();
+        let targets = &q.items()[0].targets;
+        assert_eq!(targets.len(), 2);
+        assert_eq!(
+            targets[0].subscription,
+            aggregate_scope_id(BrokerId::new(1))
+        );
+        assert_eq!(
+            targets[1].subscription,
+            aggregate_scope_id(BrokerId::new(2))
+        );
+        assert_eq!(targets[0].price, Price::ZERO);
+        assert_eq!(b0.counters.expanded_at_edge, 1);
+        assert_eq!(b0.counters.false_positive_drops_at_edge, 0);
+
+        // Head (8.5, 8.5) matches only S1 (filter 9,9 at B1). B0's own
+        // expansion comes up empty — a false positive, but not a
+        // false-positive *forward* because the copy never crossed a link.
+        let outcome = b0.handle_arrival_aggregate(
+            msg(2, 8.5, 8.5, 0),
+            SimTime::from_millis(4),
+            &scope,
+            publish_epoch,
+            false,
+        );
+        assert!(outcome.local.is_empty());
+        assert_eq!(b0.counters.false_positive_drops_at_edge, 1);
+        assert_eq!(b0.counters.false_positive_forwards, 0);
+
+        // The same copy arriving at B2 over a link expands to nothing:
+        // a counted false-positive forward.
+        let remote_scope = ScopeSet::from_sorted(vec![aggregate_scope_id(BrokerId::new(2))]);
+        let mut b2 = make(2);
+        let outcome = b2.handle_arrival_aggregate(
+            msg(2, 8.5, 8.5, 0),
+            SimTime::from_millis(6),
+            &remote_scope,
+            publish_epoch,
+            true,
+        );
+        assert!(outcome.local.is_empty());
+        assert!(outcome.enqueued_to.is_empty());
+        assert_eq!(b2.counters.false_positive_forwards, 1);
+        assert_eq!(b2.counters.false_positive_drops_at_edge, 1);
+
+        // Epoch gating: a publish snapshotted before any member joined
+        // delivers to nobody, even though filters match.
+        let mut b1 = make(1);
+        let outcome = b1.handle_arrival_aggregate(
+            msg(3, 1.0, 1.0, 0),
+            SimTime::from_millis(8),
+            &ScopeSet::from_sorted(vec![aggregate_scope_id(BrokerId::new(1))]),
+            0,
+            true,
+        );
+        assert!(outcome.local.is_empty());
+        assert_eq!(b1.counters.false_positive_drops_at_edge, 1);
     }
 
     /// A sparse broker processes the same arrivals into the same deliveries

@@ -58,6 +58,26 @@ impl ObjectiveTracker {
         self.messages.entry(id).or_default().interested = interested;
     }
 
+    /// Adds to a message's interested count after registration. Aggregate
+    /// forwarding uses this: the publish path cannot know `ts_i` without the
+    /// global walk it exists to avoid, so each edge broker contributes its
+    /// expansion's match count as the copies arrive. The resulting total
+    /// counts only members whose copies reached their edge — a lower bound
+    /// on the exact mode's `ts_i`.
+    pub fn add_interested(&mut self, id: MessageId, n: u32) {
+        self.messages.entry(id).or_default().interested += n;
+    }
+
+    /// Every (message, subscriber) pair delivered so far — on time or late —
+    /// in sorted order. The delivery-*set* oracle: forwarding modes may
+    /// differ in traffic, hops and timing, but must deliver exactly the same
+    /// pair set.
+    pub fn delivered_pairs(&self) -> Vec<(MessageId, SubscriberId)> {
+        let mut pairs: Vec<(MessageId, SubscriberId)> = self.seen_pairs.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
     /// Records a delivery attempt that reached the subscriber.
     pub fn record_delivery(
         &mut self,

@@ -14,7 +14,17 @@ use std::sync::Arc;
 
 /// A conjunction of atomic predicates — the unit of subscription routing.
 ///
-/// An empty filter matches every message (it is the "true" filter).
+/// # The empty filter is *top*, not bottom
+///
+/// An empty filter matches every message (it is the "true" filter): an empty
+/// conjunction is vacuously satisfied. Consequently [`match_all`](Self::match_all)
+/// is the empty filter, it [`covers`](Self::covers) every other filter, and
+/// [`cover_join`](Self::cover_join) with it yields the empty filter again —
+/// the top element of the covering order. Code that inspects
+/// [`is_empty`](Self::is_empty) or `predicates().is_empty()` must never read
+/// an empty predicate list as "matches nothing"; the matches-nothing case is
+/// [`FilterExpr::False`] (or an empty DNF), which deliberately has no
+/// `Filter` representation.
 ///
 /// The predicate list is shared behind an `Arc`: a filter is cloned into
 /// every broker's subscription table and matching index, and at 10⁵
@@ -60,7 +70,9 @@ impl Filter {
         self.predicates.len()
     }
 
-    /// Returns true when the filter has no predicates (matches everything).
+    /// Returns true when the filter has no predicates — i.e. when it is
+    /// [`match_all`](Self::match_all), the *top* of the covering order.
+    /// An empty filter matches everything, never nothing.
     pub fn is_empty(&self) -> bool {
         self.predicates.is_empty()
     }
@@ -378,6 +390,29 @@ mod tests {
         assert!(f.matches(&head(1.0, 2.0)));
         assert!(f.matches(&MessageHead::new()));
         assert_eq!(f.to_string(), "true");
+    }
+
+    #[test]
+    fn empty_filter_is_the_top_of_the_covering_order() {
+        // Dedicated pin for the empty-filter-is-top convention (previously
+        // only asserted incidentally inside a cover-forest property): the
+        // result of `cover_join` with match_all is the *empty* filter, and
+        // that empty filter must behave as "matches everything", not
+        // "matches nothing". Aggregate summaries depend on this — a group
+        // containing a match_all subscription summarises to an empty filter
+        // that must keep matching every publication.
+        let narrow = Filter::paper_conjunction(2.0, 2.0);
+        let join = narrow.cover_join(&Filter::match_all());
+        assert!(join.is_empty());
+        assert_eq!(join, Filter::match_all());
+        assert!(join.matches(&head(9.0, 9.0)));
+        assert!(join.matches(&MessageHead::new()));
+        assert!(join.covers(&narrow));
+        assert!(join.covers(&Filter::match_all()));
+        // Symmetric operand order.
+        assert_eq!(Filter::match_all().cover_join(&narrow), Filter::match_all());
+        // And the same filter via simplified()/new(vec![]) round trips.
+        assert!(Filter::new(vec![]).matches(&head(0.0, 0.0)));
     }
 
     #[test]

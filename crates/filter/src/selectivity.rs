@@ -21,6 +21,15 @@ pub enum AttributeModel {
         /// Upper bound (exclusive).
         hi: f64,
     },
+    /// Uniform over the integers `lo..=hi` (e.g. a priority or category code).
+    /// Unlike the continuous model, point predicates carry real mass here, so
+    /// `P(X <= c)` and `P(X < c)` genuinely differ.
+    UniformInt {
+        /// Smallest value (inclusive).
+        lo: i64,
+        /// Largest value (inclusive).
+        hi: i64,
+    },
 }
 
 impl AttributeModel {
@@ -28,12 +37,42 @@ impl AttributeModel {
     fn prob_lt(&self, c: f64) -> f64 {
         match *self {
             AttributeModel::Uniform { lo, hi } => ((c - lo) / (hi - lo)).clamp(0.0, 1.0),
+            AttributeModel::UniformInt { lo, hi } => {
+                // Largest integer strictly below c.
+                let k = if c.fract() == 0.0 { c - 1.0 } else { c.floor() };
+                Self::uniform_int_cdf(lo, hi, k)
+            }
         }
     }
 
-    /// `P(X <= c)`; identical to `prob_lt` for continuous models.
+    /// `P(X <= c)` under this model. Coincides with [`prob_lt`](Self::prob_lt)
+    /// only for continuous models; discrete models put mass on the boundary.
     fn prob_le(&self, c: f64) -> f64 {
-        self.prob_lt(c)
+        match *self {
+            AttributeModel::Uniform { .. } => self.prob_lt(c),
+            AttributeModel::UniformInt { lo, hi } => Self::uniform_int_cdf(lo, hi, c.floor()),
+        }
+    }
+
+    /// `P(X = c)` under this model; zero for continuous models.
+    fn prob_eq(&self, c: f64) -> f64 {
+        match *self {
+            AttributeModel::Uniform { .. } => 0.0,
+            AttributeModel::UniformInt { lo, hi } => {
+                let in_support = c.fract() == 0.0 && c >= lo as f64 && c <= hi as f64;
+                if in_support {
+                    1.0 / (hi - lo + 1) as f64
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Fraction of the integers `lo..=hi` that are `<= k`.
+    fn uniform_int_cdf(lo: i64, hi: i64, k: f64) -> f64 {
+        let n = (hi - lo + 1) as f64;
+        ((k - lo as f64 + 1.0) / n).clamp(0.0, 1.0)
     }
 }
 
@@ -77,9 +116,11 @@ impl SelectivityModel {
             CompOp::Le => model.prob_le(c),
             CompOp::Gt => 1.0 - model.prob_le(c),
             CompOp::Ge => 1.0 - model.prob_lt(c),
-            // Point predicates over continuous models have measure ~0 / ~1.
-            CompOp::Eq => 0.0,
-            CompOp::Ne => 1.0,
+            // Point predicates have measure zero under continuous models but
+            // genuine mass under discrete ones; ask the model rather than
+            // hard-coding the continuous answer.
+            CompOp::Eq => model.prob_eq(c),
+            CompOp::Ne => 1.0 - model.prob_eq(c),
         }
     }
 
@@ -126,6 +167,34 @@ mod tests {
         // Out-of-range constants clamp.
         assert_eq!(m.predicate_selectivity(&Predicate::lt("A1", 20.0)), 1.0);
         assert_eq!(m.predicate_selectivity(&Predicate::lt("A1", -1.0)), 0.0);
+    }
+
+    #[test]
+    fn discrete_le_differs_from_lt() {
+        // Regression: prob_le used to be a blind alias of prob_lt, which is
+        // wrong for any model with point mass. With X uniform on {0..=9}:
+        //   P(X < 5)  = 5/10,  P(X <= 5) = 6/10,  P(X = 5) = 1/10.
+        let mut m = SelectivityModel::new();
+        m.set_attribute("prio", AttributeModel::UniformInt { lo: 0, hi: 9 });
+        assert!((m.predicate_selectivity(&Predicate::lt("prio", 5.0)) - 0.5).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::le("prio", 5.0)) - 0.6).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::eq("prio", 5.0)) - 0.1).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::ne("prio", 5.0)) - 0.9).abs() < 1e-12);
+        // Gt/Ge complement Le/Lt respectively.
+        assert!((m.predicate_selectivity(&Predicate::gt("prio", 5.0)) - 0.4).abs() < 1e-12);
+        assert!((m.predicate_selectivity(&Predicate::ge("prio", 5.0)) - 0.5).abs() < 1e-12);
+        // Non-integer and out-of-support constants.
+        assert!((m.predicate_selectivity(&Predicate::le("prio", 4.5)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.predicate_selectivity(&Predicate::eq("prio", 4.5)), 0.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::eq("prio", 42.0)), 0.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::le("prio", 9.0)), 1.0);
+        assert_eq!(m.predicate_selectivity(&Predicate::lt("prio", 0.0)), 0.0);
+        // The continuous model keeps its old behaviour: Le == Lt, Eq == 0.
+        let paper = SelectivityModel::paper_workload();
+        assert_eq!(
+            paper.predicate_selectivity(&Predicate::le("A1", 5.0)),
+            paper.predicate_selectivity(&Predicate::lt("A1", 5.0)),
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! [`Counterexample`]; [`replay`] re-drives the engine down exactly that
 //! path, so traces double as permanent regression tests.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 use bdps_sim::engine::{ConservationViolation, DuplicateDeliveryViolation, EventKind, Simulation};
@@ -67,6 +67,13 @@ pub struct ExploreStats {
     /// interleavings all commute converges to a single digest; comparing
     /// the set across scheduler cells asserts layout equivalence.
     pub terminal_digests: Vec<u64>,
+    /// Distinct delivered `(message, subscriber)` pair sets observed at the
+    /// terminals, as raw id pairs in sorted order. Unlike the full digests —
+    /// which legitimately differ between forwarding modes (traffic counters,
+    /// scope contents) — the set of delivery sets must be identical between
+    /// exact and aggregate forwarding in every interleaving: the
+    /// aggregate-forwarding delivery-set oracle at model-checking depth.
+    pub terminal_delivery_sets: BTreeSet<Vec<(u64, u32)>>,
 }
 
 /// A protocol invariant the explorer found violated (or a blown budget).
@@ -205,6 +212,13 @@ fn dfs(mut sim: Simulation, mut depth: usize, ctx: &mut Ctx<'_>) -> Result<(), I
             if !ctx.stats.terminal_digests.contains(&digest) {
                 ctx.stats.terminal_digests.push(digest);
             }
+            ctx.stats.terminal_delivery_sets.insert(
+                sim.tracker()
+                    .delivered_pairs()
+                    .into_iter()
+                    .map(|(m, s)| (m.raw(), s.raw()))
+                    .collect(),
+            );
             return check_terminal(&sim, ctx.require_quiescence);
         }
         if frontier.len() > ctx.stats.max_frontier {

@@ -22,7 +22,7 @@ use bdps_net::linkmodel::LinkModelKind;
 use bdps_net::measure::EstimationError;
 use bdps_overlay::sparse::TableLayout;
 use bdps_overlay::topology::Topology;
-use bdps_sim::engine::{RebuildPolicy, Simulation};
+use bdps_sim::engine::{ForwardingMode, RebuildPolicy, Simulation};
 use bdps_sim::scenario::{DynamicScenario, ScenarioAction};
 use bdps_sim::sched::EventQueueKind;
 use bdps_sim::workload::{ArrivalKind, WorkloadConfig};
@@ -60,8 +60,8 @@ impl ModelTopology {
     }
 }
 
-/// One point of the {event scheduler × rebuild policy × table layout}
-/// cross-product a model is checked under.
+/// One point of the {event scheduler × rebuild policy × table layout ×
+/// forwarding mode} cross-product a model is checked under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CheckCell {
     /// The event scheduler implementation.
@@ -70,44 +70,72 @@ pub struct CheckCell {
     pub policy: RebuildPolicy,
     /// The subscription-table layout.
     pub layout: TableLayout,
+    /// How publish-time matching scopes copies. Aggregate forwarding only
+    /// pairs with the sparse layout (the dense combination is rejected by
+    /// the engine), so [`all`](Self::all) skips aggregate × dense.
+    pub forwarding: ForwardingMode,
 }
 
 impl CheckCell {
     /// Every cell of the cross-product, oracle configurations first: 2
-    /// schedulers × 2 policies × 2 layouts = 8 cells.
+    /// schedulers × 2 policies × 2 layouts under exact forwarding (8 cells)
+    /// plus 2 schedulers × 2 policies under aggregate × sparse (4 cells) —
+    /// 12 in total.
     pub fn all() -> Vec<CheckCell> {
-        let mut cells = Vec::with_capacity(8);
-        for queue in EventQueueKind::ALL {
-            for policy in RebuildPolicy::ALL {
-                for layout in TableLayout::ALL {
-                    cells.push(CheckCell {
-                        queue,
-                        policy,
-                        layout,
-                    });
+        let mut cells = Vec::with_capacity(12);
+        for forwarding in ForwardingMode::ALL {
+            for queue in EventQueueKind::ALL {
+                for policy in RebuildPolicy::ALL {
+                    for layout in TableLayout::ALL {
+                        if forwarding == ForwardingMode::Aggregate && layout == TableLayout::Dense {
+                            continue; // rejected by the engine up front
+                        }
+                        cells.push(CheckCell {
+                            queue,
+                            policy,
+                            layout,
+                            forwarding,
+                        });
+                    }
                 }
             }
         }
         cells
     }
 
-    /// Stable cell name, `"<queue>/<policy>/<layout>"` (e.g.
-    /// `"calendar/incremental/sparse"`).
+    /// Stable cell name, `"<queue>/<policy>/<layout>"` for exact forwarding
+    /// (unchanged from before the forwarding axis existed) with a fourth
+    /// `"/aggregate"` part under aggregate forwarding (e.g.
+    /// `"calendar/incremental/sparse/aggregate"`).
     pub fn name(&self) -> String {
-        format!(
-            "{}/{}/{}",
-            self.queue.name(),
-            self.policy.name(),
-            self.layout.name()
-        )
+        match self.forwarding {
+            ForwardingMode::Exact => format!(
+                "{}/{}/{}",
+                self.queue.name(),
+                self.policy.name(),
+                self.layout.name()
+            ),
+            ForwardingMode::Aggregate => format!(
+                "{}/{}/{}/{}",
+                self.queue.name(),
+                self.policy.name(),
+                self.layout.name(),
+                self.forwarding.name()
+            ),
+        }
     }
 
-    /// Parses a [`name`](Self::name)-formatted cell.
+    /// Parses a [`name`](Self::name)-formatted cell (the fourth, forwarding
+    /// part is optional and defaults to exact).
     pub fn from_name(name: &str) -> Option<CheckCell> {
         let mut parts = name.split('/');
         let queue = EventQueueKind::from_name(parts.next()?)?;
         let policy = RebuildPolicy::from_name(parts.next()?)?;
         let layout = TableLayout::from_name(parts.next()?)?;
+        let forwarding = match parts.next() {
+            Some(part) => ForwardingMode::from_name(part)?,
+            None => ForwardingMode::Exact,
+        };
         if parts.next().is_some() {
             return None;
         }
@@ -115,6 +143,7 @@ impl CheckCell {
             queue,
             policy,
             layout,
+            forwarding,
         })
     }
 }
@@ -303,6 +332,7 @@ impl McModel {
         .with_rebuild_policy(cell.policy)
         .with_table_layout(cell.layout)
         .with_link_model(self.link_model)
+        .with_forwarding(cell.forwarding)
         .with_drain_grace(self.drain_grace);
         #[cfg(feature = "fault-injection")]
         if let Some(fault) = self.fault {
@@ -324,16 +354,24 @@ mod tests {
     }
 
     #[test]
-    fn cell_cross_product_has_eight_named_round_tripping_cells() {
+    fn cell_cross_product_has_twelve_named_round_tripping_cells() {
         let cells = CheckCell::all();
-        assert_eq!(cells.len(), 8);
+        assert_eq!(cells.len(), 12);
         let names: std::collections::HashSet<String> = cells.iter().map(|c| c.name()).collect();
-        assert_eq!(names.len(), 8, "cell names must be distinct");
-        for cell in cells {
-            assert_eq!(CheckCell::from_name(&cell.name()), Some(cell));
+        assert_eq!(names.len(), 12, "cell names must be distinct");
+        for cell in &cells {
+            assert_eq!(CheckCell::from_name(&cell.name()), Some(*cell));
         }
+        // Aggregate forwarding never pairs with the dense layout.
+        assert!(cells
+            .iter()
+            .all(|c| c.forwarding == ForwardingMode::Exact || c.layout == TableLayout::Sparse));
+        // Pre-forwarding three-part names still parse, as exact cells.
+        let legacy = CheckCell::from_name("calendar/incremental/sparse").unwrap();
+        assert_eq!(legacy.forwarding, ForwardingMode::Exact);
         assert!(CheckCell::from_name("calendar/incremental").is_none());
         assert!(CheckCell::from_name("bogus/full/dense").is_none());
+        assert!(CheckCell::from_name("calendar/incremental/sparse/aggregate/extra").is_none());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! two symmetric publishers (same deterministic gap, so every publication
 //! instant is a genuine same-instant collision), four subscriptions and
 //! eight publications, exhaustively explored under **every** cell of the
-//! {event scheduler × rebuild policy × table layout} cross-product.
+//! {event scheduler × rebuild policy × table layout × forwarding mode}
+//! cross-product.
 //!
 //! Beyond "no invariant ever breaks in any interleaving", the scheduler
 //! axis carries an extra obligation: the binary-heap and calendar queues
@@ -32,12 +33,16 @@ fn every_cell_upholds_every_invariant_in_every_interleaving() {
     let budget = ExploreBudget::default();
 
     // Terminal-state digests keyed by the non-scheduler axes: when the heap
-    // and calendar cells of the same (policy, layout) disagree, the
-    // scheduler has changed observable protocol state.
-    let mut digests: HashMap<(&str, &str), Vec<u64>> = HashMap::new();
+    // and calendar cells of the same (policy, layout, forwarding) disagree,
+    // the scheduler has changed observable protocol state.
+    let mut digests: HashMap<(&str, &str, &str), Vec<u64>> = HashMap::new();
 
     let cells = CheckCell::all();
-    assert_eq!(cells.len(), 8, "2 schedulers × 2 policies × 2 layouts");
+    assert_eq!(
+        cells.len(),
+        12,
+        "2 schedulers × 2 policies × 2 layouts, plus 2 × 2 aggregate × sparse"
+    );
     for cell in cells {
         let exploration = explore(&model, cell, &budget);
         if let Some(cex) = &exploration.counterexample {
@@ -67,13 +72,17 @@ fn every_cell_upholds_every_invariant_in_every_interleaving() {
             cell.name()
         );
 
-        let key = (cell.policy.name(), cell.layout.name());
+        let key = (
+            cell.policy.name(),
+            cell.layout.name(),
+            cell.forwarding.name(),
+        );
         if let Some(previous) = digests.insert(key, stats.terminal_digests.clone()) {
             assert_eq!(
                 previous, digests[&key],
                 "heap and calendar schedulers reached different terminal states \
-                 for policy={} layout={}",
-                key.0, key.1
+                 for policy={} layout={} forwarding={}",
+                key.0, key.1, key.2
             );
         }
     }

@@ -33,7 +33,7 @@ fn fair_share_contention_upholds_every_invariant_in_every_interleaving() {
     model.validate().expect("contention model is in bounds");
     let budget = ExploreBudget::default();
 
-    let mut digests: HashMap<(&str, &str), Vec<u64>> = HashMap::new();
+    let mut digests: HashMap<(&str, &str, &str), Vec<u64>> = HashMap::new();
     for cell in CheckCell::all() {
         let exploration = explore(&model, cell, &budget);
         if let Some(cex) = &exploration.counterexample {
@@ -54,13 +54,17 @@ fn fair_share_contention_upholds_every_invariant_in_every_interleaving() {
 
         // The scheduler axis must not leak into protocol behaviour even
         // with flow re-scheduling in play.
-        let key = (cell.policy.name(), cell.layout.name());
+        let key = (
+            cell.policy.name(),
+            cell.layout.name(),
+            cell.forwarding.name(),
+        );
         if let Some(previous) = digests.insert(key, stats.terminal_digests.clone()) {
             assert_eq!(
                 previous, digests[&key],
                 "heap and calendar schedulers reached different terminal states \
-                 for policy={} layout={}",
-                key.0, key.1
+                 for policy={} layout={} forwarding={}",
+                key.0, key.1, key.2
             );
         }
     }

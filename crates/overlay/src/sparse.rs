@@ -34,7 +34,9 @@ use crate::pathstats::PathStats;
 use crate::routing::Routing;
 use crate::subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
 use bdps_filter::cover::CoverForest;
+use bdps_filter::filter::Filter;
 use bdps_filter::scope::ScopeSet;
+use bdps_filter::selectivity::SelectivityModel;
 use bdps_filter::subscription::Subscription;
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
 use bdps_types::message::MessageHead;
@@ -100,6 +102,33 @@ pub struct MemberRecord {
     pub subscription: Subscription,
     /// The edge broker it attaches to.
     pub edge: BrokerId,
+    /// The registry epoch at which this member joined (see
+    /// [`SharedPopulation::epoch`]). Aggregate-scoped forwarding uses it to
+    /// reproduce exact-mode scope-freeze semantics: a publication delivers
+    /// only to members whose `join_epoch` does not exceed the registry epoch
+    /// snapshotted when the message was published.
+    pub join_epoch: u64,
+}
+
+/// Bit marking a *sentinel* subscription id inside a scope: the id names a
+/// destination edge broker (an aggregate), not a concrete subscription.
+/// Real subscription ids never carry this bit — population generators mint
+/// ids sequentially from zero — so sentinel and member ids share the scope
+/// machinery without collision.
+pub const AGGREGATE_SCOPE_BIT: u32 = 1 << 31;
+
+/// The sentinel scope id standing for "every member attached at `dest`".
+/// Monotone in `dest`, so a scope built from ascending destinations is
+/// already in ascending id order.
+pub fn aggregate_scope_id(dest: BrokerId) -> SubscriptionId {
+    debug_assert!(dest.raw() < AGGREGATE_SCOPE_BIT);
+    SubscriptionId::new(AGGREGATE_SCOPE_BIT | dest.raw())
+}
+
+/// Decodes a sentinel scope id back to its destination edge broker;
+/// `None` when `id` is an ordinary subscription id.
+pub fn aggregate_scope_dest(id: SubscriptionId) -> Option<BrokerId> {
+    (id.raw() & AGGREGATE_SCOPE_BIT != 0).then(|| BrokerId::new(id.raw() & !AGGREGATE_SCOPE_BIT))
 }
 
 /// The subscriptions attached at one edge broker, with their covering set.
@@ -109,6 +138,15 @@ pub struct EdgeGroup {
     ids: Vec<SubscriptionId>,
     /// The covering forest over the members' filters.
     forest: CoverForest,
+    /// The selectivity-gated merge of the forest's roots — the compact
+    /// envelope publish-time aggregate matching consults. Sound by
+    /// construction: every root is covered by some summary filter (each
+    /// root either enters the summary verbatim or is `cover_join`ed into a
+    /// slot, and a join covers both operands), so any head matching a member
+    /// matches its root and therefore some summary filter. Derived state:
+    /// recomputed from the forest on every membership change, excluded from
+    /// digests.
+    summary: Vec<Filter>,
 }
 
 impl EdgeGroup {
@@ -131,16 +169,87 @@ impl EdgeGroup {
     pub fn forest(&self) -> &CoverForest {
         &self.forest
     }
+
+    /// The summary filters publish-time aggregate matching consults
+    /// (at most [`root_count`](CoverForest::root_count) of them).
+    pub fn summary(&self) -> &[Filter] {
+        &self.summary
+    }
+
+    /// Returns true when some summary filter matches the head — the
+    /// aggregate-level publish gate. Sound (no member match is missed);
+    /// false positives are possible and bounded by the looseness gate.
+    pub fn summary_matches(&self, head: &MessageHead) -> bool {
+        self.summary.iter().any(|f| f.matches(head))
+    }
+
+    /// Recomputes the summary from the forest roots: greedy first-fit over
+    /// roots in ascending id order, merging a root into an existing slot via
+    /// [`Filter::cover_join`] only when the model says the join stays tight —
+    /// the join's estimated selectivity may exceed the looser operand's by at
+    /// most `looseness`. With `looseness = 0` the summary is exactly the
+    /// covering set; larger bounds trade publish-time matching cost for
+    /// false-positive forwards.
+    fn rebuild_summary(&mut self, model: &SelectivityModel, looseness: f64) {
+        self.summary.clear();
+        let mut slot_sels: Vec<f64> = Vec::new();
+        for (_, filter) in self.forest.roots() {
+            let sel = model.filter_selectivity(filter);
+            let mut merged = false;
+            for (slot, slot_sel) in self.summary.iter_mut().zip(slot_sels.iter_mut()) {
+                let join = slot.cover_join(filter);
+                let join_sel = model.filter_selectivity(&join);
+                if join_sel - slot_sel.max(sel) <= looseness {
+                    *slot = join;
+                    *slot_sel = join_sel;
+                    merged = true;
+                    break;
+                }
+            }
+            if !merged {
+                self.summary.push(filter.clone());
+                slot_sels.push(sel);
+            }
+        }
+    }
 }
 
 /// The population-wide registry the sparse layout shares across brokers:
 /// one record per subscription plus one [`EdgeGroup`] (member list +
-/// covering forest) per edge broker. Stored once globally — this is the
-/// memory the dense layout replicates `brokers` times.
-#[derive(Debug, Clone, Default)]
+/// covering forest + summary) per edge broker. Stored once globally — this
+/// is the memory the dense layout replicates `brokers` times.
+#[derive(Debug, Clone)]
 pub struct SharedPopulation {
     members: HashMap<SubscriptionId, MemberRecord>,
     by_edge: BTreeMap<BrokerId, EdgeGroup>,
+    /// Monotone membership-change counter: bumped on every insert. Publish
+    /// paths snapshot it to freeze "who had joined by then" without
+    /// enumerating the population.
+    epoch: u64,
+    /// The attribute model gating summary merges.
+    selectivity: SelectivityModel,
+    /// Maximum estimated-selectivity slack a summary merge may introduce.
+    cover_looseness: f64,
+}
+
+/// Default looseness bound for summary merges: a join may widen the
+/// estimated match probability by at most this much over its looser operand.
+pub const DEFAULT_COVER_LOOSENESS: f64 = 0.05;
+
+impl Default for SharedPopulation {
+    fn default() -> Self {
+        SharedPopulation {
+            members: HashMap::new(),
+            by_edge: BTreeMap::new(),
+            epoch: 0,
+            // The paper-workload model knows A1/A2. Unknown attributes
+            // estimate selectivity 1, so the gate is blind to widening
+            // among them and merges freely; install a richer model via
+            // `set_cover_policy` when the workload uses other attributes.
+            selectivity: SelectivityModel::paper_workload(),
+            cover_looseness: DEFAULT_COVER_LOOSENESS,
+        }
+    }
 }
 
 impl SharedPopulation {
@@ -160,15 +269,26 @@ impl SharedPopulation {
     }
 
     /// Registers a subscription attached at `edge` (replacing any previous
-    /// record for the same id).
+    /// record for the same id). Bumps the registry epoch; the new member's
+    /// `join_epoch` is the bumped value, so a publish that snapshotted the
+    /// epoch earlier never delivers to it.
     pub fn insert(&mut self, subscription: Subscription, edge: BrokerId) {
         let id = subscription.id;
         self.remove(id);
+        self.epoch += 1;
         let group = self.by_edge.entry(edge).or_default();
         let pos = group.ids.partition_point(|&i| i < id);
         group.ids.insert(pos, id);
         group.forest.insert(id, subscription.filter.clone());
-        self.members.insert(id, MemberRecord { subscription, edge });
+        group.rebuild_summary(&self.selectivity, self.cover_looseness);
+        self.members.insert(
+            id,
+            MemberRecord {
+                subscription,
+                edge,
+                join_epoch: self.epoch,
+            },
+        );
     }
 
     /// Unregisters a subscription, returning its record when present.
@@ -181,9 +301,32 @@ impl SharedPopulation {
             group.forest.remove(id);
             if group.is_empty() {
                 self.by_edge.remove(&record.edge);
+            } else {
+                group.rebuild_summary(&self.selectivity, self.cover_looseness);
             }
         }
         Some(record)
+    }
+
+    /// The current membership epoch (bumped on every insert).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Installs a different selectivity model and looseness bound for the
+    /// summary merge gate, recomputing every group's summary under the new
+    /// policy.
+    pub fn set_cover_policy(&mut self, model: SelectivityModel, looseness: f64) {
+        self.selectivity = model;
+        self.cover_looseness = looseness;
+        for group in self.by_edge.values_mut() {
+            group.rebuild_summary(&self.selectivity, self.cover_looseness);
+        }
+    }
+
+    /// The looseness bound currently gating summary merges.
+    pub fn cover_looseness(&self) -> f64 {
+        self.cover_looseness
     }
 
     /// Total registered subscriptions.
@@ -218,12 +361,14 @@ impl SharedPopulation {
     /// membership pins the registry's full content. Used by the
     /// model-checking explorer's state deduplication.
     pub fn digest_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u64(self.epoch);
         h.write_usize(self.by_edge.len());
         for (edge, group) in &self.by_edge {
             h.write_u32(edge.raw());
             h.write_usize(group.ids.len());
             for id in &group.ids {
                 h.write_u32(id.raw());
+                h.write_u64(self.members[id].join_epoch);
             }
         }
     }
@@ -433,6 +578,12 @@ impl SparseTable {
     /// Number of aggregate entries currently held.
     pub fn aggregate_count(&self) -> usize {
         self.aggregates.len()
+    }
+
+    /// The aggregate entry towards one destination, when that destination
+    /// has members and is currently reachable from this broker.
+    pub fn aggregate(&self, dest: BrokerId) -> Option<&AggregateEntry> {
+        self.aggregates.get(&dest)
     }
 
     /// The shared registry handle.
@@ -989,6 +1140,147 @@ mod tests {
         assert_eq!(table.aggregate_count(), 0);
         assert_eq!(table.local().len(), 0);
         assert!(table.matching_all(&head(1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn sentinel_scope_ids_round_trip_and_avoid_member_ids() {
+        for b in [0u32, 1, 17, 4095, (1 << 21) - 1] {
+            let dest = BrokerId::new(b);
+            let id = aggregate_scope_id(dest);
+            assert_eq!(aggregate_scope_dest(id), Some(dest));
+            assert!(id.raw() & AGGREGATE_SCOPE_BIT != 0);
+        }
+        // Ordinary population ids decode to nothing.
+        assert_eq!(aggregate_scope_dest(SubscriptionId::new(0)), None);
+        assert_eq!(aggregate_scope_dest(SubscriptionId::new(123_456)), None);
+        // Sentinels are monotone in the destination, so ascending
+        // destinations produce an ascending (scope-ready) id sequence.
+        assert!(aggregate_scope_id(BrokerId::new(3)) < aggregate_scope_id(BrokerId::new(4)));
+    }
+
+    #[test]
+    fn epoch_advances_on_insert_and_freezes_membership() {
+        let mut pop = SharedPopulation::new();
+        assert_eq!(pop.epoch(), 0);
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(0),
+                SubscriberId::new(0),
+                Filter::match_all(),
+            ),
+            BrokerId::new(1),
+        );
+        let snapshot = pop.epoch();
+        assert_eq!(snapshot, 1);
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(1),
+                SubscriberId::new(1),
+                Filter::match_all(),
+            ),
+            BrokerId::new(1),
+        );
+        assert_eq!(pop.epoch(), 2);
+        // A publish that snapshotted `snapshot` sees member 0 but not the
+        // later joiner.
+        let group = pop.group(BrokerId::new(1)).unwrap();
+        let visible: Vec<u32> = group
+            .ids()
+            .iter()
+            .filter(|&&id| pop.member(id).unwrap().join_epoch <= snapshot)
+            .map(|id| id.raw())
+            .collect();
+        assert_eq!(visible, vec![0]);
+        // Removals do not advance the epoch; re-inserting the same id does,
+        // so a leave-then-rejoin is invisible to older publications.
+        pop.remove(SubscriptionId::new(0));
+        assert_eq!(pop.epoch(), 2);
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(0),
+                SubscriberId::new(0),
+                Filter::match_all(),
+            ),
+            BrokerId::new(1),
+        );
+        assert_eq!(pop.member(SubscriptionId::new(0)).unwrap().join_epoch, 3);
+    }
+
+    #[test]
+    fn summary_is_sound_and_gated_by_selectivity() {
+        // Three Pareto-incomparable paper-family members (so all three are
+        // covering-set roots). Under the paper model the first two are tight
+        // — their join (2, 2) has selectivity 0.04, a slack of 0.02 over the
+        // looser operand — while joining the third into that slot would give
+        // (9, 2) with selectivity 0.18, a slack of 0.135. The default 0.05
+        // looseness therefore merges the tight pair and keeps the third
+        // separate.
+        let mut pop = SharedPopulation::new();
+        let members = [
+            (0u32, Filter::paper_conjunction(1.0, 2.0)),
+            (1, Filter::paper_conjunction(2.0, 0.9)),
+            (2, Filter::paper_conjunction(9.0, 0.5)),
+        ];
+        for (i, f) in &members {
+            pop.insert(
+                Subscription::best_effort(
+                    SubscriptionId::new(*i),
+                    SubscriberId::new(*i),
+                    f.clone(),
+                ),
+                BrokerId::new(0),
+            );
+        }
+        let group = pop.group(BrokerId::new(0)).unwrap();
+        assert_eq!(group.forest().root_count(), 3);
+        assert_eq!(group.summary().len(), 2, "tight pair merges, wide stays");
+        // Soundness: any head matching a member matches the summary.
+        for (_, f) in &members {
+            for h in [
+                head(0.5, 0.5),
+                head(1.5, 0.4),
+                head(4.0, 0.4),
+                head(0.1, 1.9),
+            ] {
+                if f.matches(&h) {
+                    assert!(group.summary_matches(&h), "summary missed a member match");
+                }
+            }
+        }
+        // A strict gate (looseness 0) reproduces the covering set exactly.
+        pop.set_cover_policy(SelectivityModel::paper_workload(), 0.0);
+        let group = pop.group(BrokerId::new(0)).unwrap();
+        assert_eq!(group.summary().len(), group.forest().root_count());
+        // A fully permissive gate collapses the group to one envelope.
+        pop.set_cover_policy(SelectivityModel::paper_workload(), 1.0);
+        let group = pop.group(BrokerId::new(0)).unwrap();
+        assert_eq!(group.summary().len(), 1);
+    }
+
+    #[test]
+    fn match_all_member_summarises_to_the_top_filter() {
+        // The empty-filter-is-top convention end to end: a match_all member
+        // makes its group's summary match every head.
+        let mut pop = SharedPopulation::new();
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(0),
+                SubscriberId::new(0),
+                Filter::match_all(),
+            ),
+            BrokerId::new(0),
+        );
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(1),
+                SubscriberId::new(1),
+                Filter::paper_conjunction(1.0, 1.0),
+            ),
+            BrokerId::new(0),
+        );
+        let group = pop.group(BrokerId::new(0)).unwrap();
+        assert!(group.summary_matches(&head(9.9, 9.9)));
+        assert!(group.summary_matches(&MessageHead::new()));
     }
 
     #[test]

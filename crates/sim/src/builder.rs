@@ -32,7 +32,7 @@ use bdps_stats::rng::SimRng;
 use bdps_types::error::{BdpsError, Result};
 use bdps_types::time::Duration;
 
-use crate::engine::{RebuildPolicy, Simulation};
+use crate::engine::{ForwardingMode, RebuildPolicy, Simulation};
 use crate::report::SimulationReport;
 use crate::runner::{SimulationConfig, TopologySpec};
 use crate::scenario::{DynamicScenario, ScenarioRegistry};
@@ -67,6 +67,7 @@ pub struct SimulationBuilder {
     rebuild_policy: RebuildPolicy,
     table_layout: TableLayout,
     link_model: LinkModelKind,
+    forwarding: ForwardingMode,
     shards: usize,
 }
 
@@ -86,6 +87,7 @@ impl Default for SimulationBuilder {
             rebuild_policy: RebuildPolicy::default(),
             table_layout: TableLayout::default(),
             link_model: LinkModelKind::default(),
+            forwarding: ForwardingMode::default(),
             shards: 1,
         }
     }
@@ -114,6 +116,7 @@ impl SimulationBuilder {
             rebuild_policy: config.rebuild_policy,
             table_layout: config.table_layout,
             link_model: config.link_model,
+            forwarding: config.forwarding,
             shards: config.shards,
         }
     }
@@ -305,6 +308,17 @@ impl SimulationBuilder {
         Ok(self)
     }
 
+    /// Selects how publish-time matching scopes copies (exact by default —
+    /// the `O(population)` global-index freeze at every publish).
+    /// [`ForwardingMode::Aggregate`] matches only against per-edge covering
+    /// summaries and expands at the edge; it preserves the delivery set,
+    /// earning and audits (`tests/forwarding_equivalence.rs` pins this) but
+    /// not traffic, and requires [`TableLayout::Sparse`] and `shards(1)`.
+    pub fn forwarding(mut self, mode: ForwardingMode) -> Self {
+        self.forwarding = mode;
+        self
+    }
+
     /// Sets the root RNG seed; topology, workload, scheduling and scenario
     /// randomness all derive from it.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -360,6 +374,7 @@ impl SimulationBuilder {
             rebuild_policy: self.rebuild_policy,
             table_layout: self.table_layout,
             link_model: self.link_model,
+            forwarding: self.forwarding,
             shards: self.shards,
         }
     }
@@ -389,6 +404,7 @@ impl SimulationBuilder {
         sim = sim.with_rebuild_policy(config.rebuild_policy);
         sim = sim.with_table_layout(config.table_layout);
         sim = sim.with_link_model(config.link_model);
+        sim = sim.with_forwarding(config.forwarding);
         if let Some(grace) = self.drain_grace {
             sim = sim.with_drain_grace(grace);
         }

@@ -135,6 +135,14 @@ pub(crate) mod key {
         debug_assert!(message.raw() < 1 << MESSAGE_BITS);
         (3 << 62) | ((link.index() as u64) << MESSAGE_BITS) | message.raw()
     }
+
+    /// Whether a process-event key's copy arrived over a link (as opposed to
+    /// the publisher-side hand-off, whose `via` field is 0). Recovered from
+    /// the key rather than stored in the event so [`super::EventKind`] and
+    /// its digests stay unchanged.
+    pub(crate) fn process_via_link(seq: u64) -> bool {
+        ((seq >> MESSAGE_BITS) & ((1 << 21) - 1)) != 0
+    }
 }
 
 /// A structured, recoverable simulation failure.
@@ -172,6 +180,18 @@ pub enum SimError {
         /// The rejected link model's registry name.
         model: &'static str,
     },
+    /// Aggregate-scoped forwarding ([`ForwardingMode::Aggregate`]) was
+    /// requested together with the dense table layout. Aggregate publishing
+    /// matches against the edge groups of the shared population registry and
+    /// expands at the edge via that same registry — state only the sparse
+    /// layout maintains — so the combination is rejected up front.
+    AggregateForwardingNeedsSparseLayout,
+    /// The sharded executor was asked to run aggregate-scoped forwarding
+    /// across more than one shard. Edge expansion reads the shared
+    /// population registry at delivery time, which would race with churn
+    /// applied by other shards inside the same conservative window — run
+    /// with shards = 1 (or exact forwarding).
+    ShardedForwardingUnsupported,
 }
 
 impl fmt::Display for SimError {
@@ -190,6 +210,19 @@ impl fmt::Display for SimError {
                  (got `{model}`): flow completion re-scheduling can move a \
                  cross-shard arrival inside the PD-lookahead window — run with \
                  shards = 1"
+            ),
+            SimError::AggregateForwardingNeedsSparseLayout => write!(
+                f,
+                "aggregate-scoped forwarding requires the sparse table layout: \
+                 publish-time matching and edge expansion both read the shared \
+                 population registry, which the dense layout does not maintain"
+            ),
+            SimError::ShardedForwardingUnsupported => write!(
+                f,
+                "sharded execution does not support aggregate-scoped \
+                 forwarding: edge expansion reads the shared population \
+                 registry at delivery time, racing cross-shard churn — run \
+                 with shards = 1 (or exact forwarding)"
             ),
         }
     }
@@ -385,6 +418,60 @@ impl RebuildPolicy {
             "incremental" | "inc" | "delta" => Some(RebuildPolicy::Incremental),
             _ => None,
         }
+    }
+}
+
+/// How publish-time matching scopes message copies.
+///
+/// Unlike [`RebuildPolicy`] and [`TableLayout`], the two modes are **not**
+/// bit-identical: covering aggregates admit false positives, so aggregate
+/// forwarding may push copies down subtrees that end up serving nobody. What
+/// is preserved — and what `tests/forwarding_equivalence.rs` pins per seed ×
+/// scenario × scheduler — is the *delivery set*: the exact set of
+/// `(message, subscriber)` pairs delivered, the earning, and the
+/// conservation/duplicate audits. Hop counts, traffic and per-message
+/// interested counts may legitimately differ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForwardingMode {
+    /// Freeze the exact matching subscription set at publication time by
+    /// walking the global filter index — `O(population)` per publish. The
+    /// reference implementation, kept as the delivery-set oracle.
+    #[default]
+    Exact,
+    /// Match the publication against each edge broker's covering-aggregate
+    /// summary only — `O(brokers)` per publish — and carry the aggregate as
+    /// the copy's scope. Concrete subscribers are resolved once, at the edge
+    /// broker, against the membership frozen at the publish epoch. Requires
+    /// [`TableLayout::Sparse`].
+    Aggregate,
+}
+
+impl ForwardingMode {
+    /// Every selectable mode, oracle first.
+    pub const ALL: [ForwardingMode; 2] = [ForwardingMode::Exact, ForwardingMode::Aggregate];
+
+    /// Stable CLI/report name (`"exact"` / `"aggregate"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ForwardingMode::Exact => "exact",
+            ForwardingMode::Aggregate => "aggregate",
+        }
+    }
+
+    /// Resolves a CLI name (case-insensitive): `"exact"` or `"aggregate"`
+    /// (alias `"agg"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "exact" => Some(ForwardingMode::Exact),
+            "aggregate" | "agg" => Some(ForwardingMode::Aggregate),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ForwardingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -598,6 +685,26 @@ impl SimulationOutcome {
         self.broker_counters.iter().map(|c| c.sent).sum()
     }
 
+    /// Copies that crossed at least one link only to expand to zero members
+    /// at their edge broker — the traffic cost of covering-aggregate false
+    /// positives (non-zero only under [`ForwardingMode::Aggregate`]).
+    pub fn false_positive_forwards(&self) -> u64 {
+        self.broker_counters
+            .iter()
+            .map(|c| c.false_positive_forwards)
+            .sum()
+    }
+
+    /// Edge expansions that resolved zero members (includes the publisher's
+    /// own broker, where no link was wasted; always ≥
+    /// [`false_positive_forwards`](Self::false_positive_forwards)).
+    pub fn false_positive_drops_at_edge(&self) -> u64 {
+        self.broker_counters
+            .iter()
+            .map(|c| c.false_positive_drops_at_edge)
+            .sum()
+    }
+
     /// Checks the copy-conservation invariants and returns a structured
     /// report of the first violated one, if any. Two balances must hold at
     /// the end of every run, static or dynamic:
@@ -783,6 +890,16 @@ pub struct Simulation {
     /// How brokers materialise their subscription tables (dense replicated
     /// entries, or sparse covering aggregates over the shared registry).
     table_layout: TableLayout,
+    /// How publish-time matching scopes copies (exact subscription sets, or
+    /// covering aggregates expanded at the edge). `pub(crate)` so the
+    /// sharded executor can reject the aggregate mode up front.
+    pub(crate) forwarding: ForwardingMode,
+    /// Population epoch frozen per message at publication time (aggregate
+    /// forwarding only): edge expansion delivers only to members whose join
+    /// epoch is at or below the publish epoch, reproducing exact mode's
+    /// "a subscription joining a microsecond later must not receive this
+    /// message" freeze without materialising the member set.
+    publish_epoch: HashMap<MessageId, u64>,
     /// The shared population registry (sparse layout only), referenced by
     /// every broker's table.
     population: Option<PopulationHandle>,
@@ -1069,6 +1186,8 @@ impl Simulation {
             link_alive_at_rebuild,
             rebuild_policy: RebuildPolicy::default(),
             table_layout: TableLayout::default(),
+            forwarding: ForwardingMode::default(),
+            publish_epoch: HashMap::new(),
             population: None,
             brokers_built: false,
             tables_rebuilt_full: 0,
@@ -1188,6 +1307,31 @@ impl Simulation {
     /// The link transfer-time model this run uses.
     pub fn link_model(&self) -> LinkModelKind {
         self.link_model_kind
+    }
+
+    /// Selects how publish-time matching scopes copies (see
+    /// [`ForwardingMode`]; exact by default). Aggregate forwarding requires
+    /// the sparse table layout — the combination with a dense layout is
+    /// rejected as a structured error when the run starts. Call before
+    /// [`run`](Self::run).
+    pub fn with_forwarding(mut self, mode: ForwardingMode) -> Self {
+        assert!(
+            self.published == 0,
+            "forwarding mode must be chosen before any message is published"
+        );
+        self.forwarding = mode;
+        self
+    }
+
+    /// The forwarding mode this run uses.
+    pub fn forwarding(&self) -> ForwardingMode {
+        self.forwarding
+    }
+
+    /// The objective bookkeeping accumulated so far — the mid-run view the
+    /// model-checking explorer reads to collect terminal delivery sets.
+    pub fn tracker(&self) -> &ObjectiveTracker {
+        &self.tracker
     }
 
     /// Materialises the per-broker state (tables and queues) for the
@@ -1387,6 +1531,9 @@ impl Simulation {
     /// [`SimError`]s (e.g. a population registry lock poisoned by a sibling
     /// thread) instead of panicking.
     pub fn try_run(mut self) -> Result<SimulationOutcome, SimError> {
+        if self.forwarding == ForwardingMode::Aggregate && self.table_layout == TableLayout::Dense {
+            return Err(SimError::AggregateForwardingNeedsSparseLayout);
+        }
         self.build_brokers();
         let hard_stop = self.hard_stop();
         while let Some(entry) = self.events.pop_if_at_or_before(hard_stop) {
@@ -1468,13 +1615,20 @@ impl Simulation {
         debug_assert!(entry.time >= self.now, "events must not run backwards");
         self.now = entry.time;
         self.events_processed += 1;
+        let seq = entry.seq;
         match entry.item {
             EventKind::Publish { publisher, gen } => self.on_publish(publisher, gen, entry.time),
             EventKind::Process {
                 broker,
                 message,
                 scope,
-            } => self.on_process(broker, message, scope, entry.time),
+            } => self.on_process(
+                broker,
+                message,
+                scope,
+                entry.time,
+                key::process_via_link(seq),
+            ),
             EventKind::SendComplete { link, queued, gen } => {
                 self.on_send_complete(link, queued, gen, entry.time)
             }
@@ -1630,6 +1784,8 @@ impl Simulation {
             link_alive_at_rebuild: self.link_alive_at_rebuild.clone(),
             rebuild_policy: self.rebuild_policy,
             table_layout: self.table_layout,
+            forwarding: self.forwarding,
+            publish_epoch: self.publish_epoch.clone(),
             population,
             brokers_built: self.brokers_built,
             tables_rebuilt_full: self.tables_rebuilt_full,
@@ -1733,6 +1889,21 @@ impl Simulation {
             }
         }
         h.write_u8(self.link_model_kind as u8);
+        h.write_u8(self.forwarding as u8);
+        // Publish epochs as a sorted list (aggregate forwarding only; the
+        // map is insertion-ordered-free but iteration order is not logical
+        // state).
+        let mut epochs: Vec<(u64, u64)> = self
+            .publish_epoch
+            .iter()
+            .map(|(m, e)| (m.raw(), *e))
+            .collect();
+        epochs.sort_unstable();
+        h.write_usize(epochs.len());
+        for (m, e) in epochs {
+            h.write_u64(m);
+            h.write_u64(e);
+        }
         h.write_u8(self.routing_dirty as u8);
         // Brokers: counters, queues and tables.
         for b in &self.brokers {
@@ -1837,15 +2008,52 @@ impl Simulation {
         self.published += 1;
         self.current_phase().published += 1;
 
-        // ts_i: how many subscribers are interested in this message. The
-        // matching set doubles as the copy's scope, freezing the interested
-        // population at publication time — under churn a subscription joining
-        // a microsecond later must not receive (nor re-route) this message.
-        let mut ids = std::mem::take(&mut self.scope_scratch);
-        self.global_index.matching_into(&message.head, &mut ids);
-        self.tracker.register_message(id, ids.len() as u32);
-        let scope = self.scope_interner.intern(&ids);
-        self.scope_scratch = ids;
+        let scope = match self.forwarding {
+            ForwardingMode::Exact => {
+                // ts_i: how many subscribers are interested in this message.
+                // The matching set doubles as the copy's scope, freezing the
+                // interested population at publication time — under churn a
+                // subscription joining a microsecond later must not receive
+                // (nor re-route) this message.
+                let mut ids = std::mem::take(&mut self.scope_scratch);
+                self.global_index.matching_into(&message.head, &mut ids);
+                self.tracker.register_message(id, ids.len() as u32);
+                let scope = self.scope_interner.intern(&ids);
+                self.scope_scratch = ids;
+                scope
+            }
+            ForwardingMode::Aggregate => {
+                // No global index walk: consult only each edge group's
+                // covering summary — O(brokers), not O(population) — and
+                // scope the copy with one sentinel per candidate edge.
+                // Membership is frozen by epoch instead of by value; the
+                // interested count starts at 0 and accumulates as edges
+                // expand (see `on_process`).
+                let mut ids = std::mem::take(&mut self.scope_scratch);
+                ids.clear();
+                let epoch = {
+                    let pop = bdps_overlay::sparse::read_population(
+                        self.population
+                            .as_ref()
+                            .expect("aggregate forwarding runs on the sparse layout"),
+                    );
+                    // BTreeMap iteration is ascending in the edge broker id
+                    // and the sentinel encoding is monotone in it, so the
+                    // scope ids come out ascending as ScopeSet requires.
+                    for (dest, group) in pop.groups() {
+                        if group.summary_matches(&message.head) {
+                            ids.push(bdps_overlay::sparse::aggregate_scope_id(dest));
+                        }
+                    }
+                    pop.epoch()
+                };
+                self.tracker.register_message(id, 0);
+                self.publish_epoch.insert(id, epoch);
+                let scope = self.scope_interner.intern(&ids);
+                self.scope_scratch = ids;
+                scope
+            }
+        };
 
         // Hand the message to the attached broker; processing takes PD.
         let done = time + self.scheduler.processing_delay;
@@ -1867,12 +2075,33 @@ impl Simulation {
         message: Arc<Message>,
         scope: ScopeSet,
         time: SimTime,
+        via_link: bool,
     ) {
-        let outcome = self.brokers[broker.index()].handle_arrival_scoped(
-            Arc::clone(&message),
-            time,
-            Some(&scope),
-        );
+        let outcome = match self.forwarding {
+            ForwardingMode::Exact => self.brokers[broker.index()].handle_arrival_scoped(
+                Arc::clone(&message),
+                time,
+                Some(&scope),
+            ),
+            ForwardingMode::Aggregate => {
+                let epoch = self.publish_epoch.get(&message.id).copied().unwrap_or(0);
+                let outcome = self.brokers[broker.index()].handle_arrival_aggregate(
+                    Arc::clone(&message),
+                    time,
+                    &scope,
+                    epoch,
+                    via_link,
+                );
+                // The interested count accumulates edge by edge: each
+                // expansion contributes exactly the members it resolved, so
+                // once every copy lands total_interested equals the delivered
+                // count (aggregate mode has no "interested but undelivered"
+                // notion — the oracle compares delivery sets, not rates).
+                self.tracker
+                    .add_interested(message.id, outcome.local.len() as u32);
+                outcome
+            }
+        };
         for d in &outcome.local {
             self.tracker
                 .record_delivery(message.id, d.subscriber, d.price, d.delay, d.on_time);

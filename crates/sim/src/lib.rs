@@ -43,8 +43,8 @@ pub use builder::SimulationBuilder;
 #[cfg(feature = "fault-injection")]
 pub use engine::InjectedFault;
 pub use engine::{
-    ConservationBalance, ConservationViolation, DuplicateDeliveryViolation, LinkLoad, PhaseOutcome,
-    RebuildPolicy, SimError, Simulation, SimulationOutcome,
+    ConservationBalance, ConservationViolation, DuplicateDeliveryViolation, ForwardingMode,
+    LinkLoad, PhaseOutcome, RebuildPolicy, SimError, Simulation, SimulationOutcome,
 };
 pub use report::{render_csv, render_markdown_table, LinkReport, PhaseReport, SimulationReport};
 pub use runner::{run, sweep, SimulationConfig, SweepCell, TopologySpec};
@@ -60,7 +60,8 @@ pub use workload::{
 pub mod prelude {
     pub use crate::builder::SimulationBuilder;
     pub use crate::engine::{
-        LinkLoad, PhaseOutcome, RebuildPolicy, SimError, Simulation, SimulationOutcome,
+        ForwardingMode, LinkLoad, PhaseOutcome, RebuildPolicy, SimError, Simulation,
+        SimulationOutcome,
     };
     pub use crate::report::{
         render_csv, render_markdown_table, LinkReport, PhaseReport, SimulationReport,

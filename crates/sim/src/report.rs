@@ -150,6 +150,18 @@ pub struct SimulationReport {
     /// always 0 under single-path scoped forwarding; reported so regressions
     /// are loud.
     pub duplicate_deliveries: u64,
+    /// Copies that crossed at least one link only to expand to zero members
+    /// at their edge broker — the false-positive traffic of aggregate-scoped
+    /// forwarding (always 0 under exact forwarding). Defaults on
+    /// deserialisation so reports serialised before the forwarding axis
+    /// existed still load.
+    #[serde(default)]
+    pub false_positive_forwards: u64,
+    /// Edge expansions that resolved zero members (includes the publisher's
+    /// own broker; ≥ `false_positive_forwards`). Defaults on deserialisation
+    /// like the field above.
+    #[serde(default)]
+    pub false_positive_drops_at_edge: u64,
     /// Link transmissions performed.
     pub transmissions: u64,
     /// Mean end-to-end delay of on-time deliveries, in ms.
@@ -193,6 +205,8 @@ impl SimulationReport {
             dropped_unsubscribed: outcome.dropped_unsubscribed(),
             requeued: outcome.requeued(),
             duplicate_deliveries: outcome.tracker.duplicate_deliveries(),
+            false_positive_forwards: outcome.false_positive_forwards(),
+            false_positive_drops_at_edge: outcome.false_positive_drops_at_edge(),
             transmissions: outcome.transmissions,
             mean_valid_delay_ms: outcome.valid_delays_ms.mean(),
             phases: outcome
@@ -384,6 +398,8 @@ mod tests {
             dropped_unsubscribed: 0,
             requeued: 0,
             duplicate_deliveries: 0,
+            false_positive_forwards: 0,
+            false_positive_drops_at_edge: 0,
             transmissions: 90_000,
             mean_valid_delay_ms: 4_200.0,
             phases: Vec::new(),
@@ -429,6 +445,41 @@ mod tests {
         let report = PhaseReport::from_outcome(&phase);
         assert_eq!(report.mean_valid_delay_ms, 200.0);
         assert!(report.p95_valid_delay_ms >= 200.0);
+    }
+
+    #[test]
+    fn degenerate_zero_duration_run_reports_finite_numbers() {
+        // A run whose publication period is zero seconds publishes nothing,
+        // delivers nothing and finishes at t = 0 — every derived statistic
+        // (delivery rate, delays, utilisation, phase tables) must come out
+        // finite and render without NaN.
+        use crate::engine::Simulation;
+        use bdps_overlay::topology::LayeredMeshConfig;
+        use bdps_types::time::Duration;
+        let report = Simulation::builder()
+            .layered_mesh(LayeredMeshConfig::small())
+            .ssd(10.0)
+            .duration(Duration::ZERO)
+            .drain_grace(Duration::ZERO)
+            .seed(3)
+            .report();
+        assert_eq!(report.published, 0);
+        assert_eq!(report.interested, 0);
+        assert!(report.delivery_rate.is_finite());
+        assert_eq!(report.delivery_rate, 0.0);
+        assert!(report.mean_valid_delay_ms.is_finite());
+        assert!(report.max_link_utilisation().is_finite());
+        assert_eq!(report.max_link_utilisation(), 0.0);
+        for phase in &report.phases {
+            assert!(phase.mean_valid_delay_ms.is_finite());
+            assert!(phase.p95_valid_delay_ms.is_finite());
+        }
+        for link in &report.links {
+            assert!(link.utilisation.is_finite());
+            assert!(link.mean_concurrency.is_finite());
+        }
+        assert!(!report.phase_table().contains("NaN"));
+        assert!(!report.link_table(5).contains("NaN"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
 use crate::builder::SimulationBuilder;
-use crate::engine::RebuildPolicy;
+use crate::engine::{ForwardingMode, RebuildPolicy};
 use crate::report::SimulationReport;
 use crate::scenario::DynamicScenario;
 use crate::sched::EventQueueKind;
@@ -89,6 +89,13 @@ pub struct SimulationConfig {
     /// constant-delay meaning.
     #[serde(default)]
     pub link_model: LinkModelKind,
+    /// How publish-time matching scopes copies (exact by default — the
+    /// `O(population)` global-index freeze). Aggregate forwarding preserves
+    /// the delivery set but not traffic, and requires the sparse table
+    /// layout (see [`ForwardingMode`]). Defaults on deserialisation so
+    /// pre-existing configs keep their exact-matching meaning.
+    #[serde(default)]
+    pub forwarding: ForwardingMode,
     /// How many broker shards advance the event loop (1 = the sequential
     /// reference loop; N > 1 runs the conservative time-window executor on
     /// N worker threads, see [`crate::shard`]). Every shard count yields

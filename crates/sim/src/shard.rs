@@ -108,7 +108,10 @@ pub fn run_sharded(sim: Simulation, shards: usize) -> SimulationOutcome {
 /// constant-delay oracle: a sharing model's completion re-scheduling can
 /// *move* an already-scheduled completion, so a cross-shard `Process`
 /// arrival is no longer pinned at `t + PD` and the conservative window
-/// argument above does not hold.
+/// argument above does not hold. Aggregate-scoped forwarding is likewise
+/// rejected ([`SimError::ShardedForwardingUnsupported`]): edge expansion
+/// reads the shared population registry at delivery time, racing churn
+/// applied by sibling shards.
 pub fn try_run_sharded(mut sim: Simulation, shards: usize) -> Result<SimulationOutcome, SimError> {
     sim.build_brokers();
     let pd = sim.scheduler.processing_delay;
@@ -120,6 +123,13 @@ pub fn try_run_sharded(mut sim: Simulation, shards: usize) -> Result<SimulationO
         return Err(SimError::ShardedLinkModelUnsupported {
             model: sim.link_model_kind.name(),
         });
+    }
+    if sim.forwarding == crate::engine::ForwardingMode::Aggregate {
+        // Edge expansion reads the shared population registry at delivery
+        // time; a shard expanding while another applies churn inside the
+        // same conservative window would race — reject instead of
+        // silently diverging from the sequential run.
+        return Err(SimError::ShardedForwardingUnsupported);
     }
 
     let homes = Homes::build(&sim, n);

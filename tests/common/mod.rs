@@ -1,10 +1,27 @@
 //! Helpers shared by the differential-oracle suites
-//! (`rebuild_equivalence.rs`, `layout_equivalence.rs`).
+//! (`rebuild_equivalence.rs`, `layout_equivalence.rs`,
+//! `forwarding_equivalence.rs`).
 
 use bdps::prelude::*;
 
+/// The delivery set of a finished run: every `(message, subscriber)` pair
+/// delivered (on time or late), sorted. This is the oracle currency of the
+/// forwarding suite — aggregate forwarding may reshape traffic, but the
+/// delivery set must be exactly the exact-mode one — and doubles as a
+/// layout-independence check.
+#[allow(dead_code)]
+pub fn delivered_pairs(outcome: &SimulationOutcome) -> Vec<(u64, u32)> {
+    outcome
+        .tracker
+        .delivered_pairs()
+        .into_iter()
+        .map(|(m, s)| (m.raw(), s.raw()))
+        .collect()
+}
+
 /// Directed link count of the small layered mesh the oracle suites run on
 /// (the storm generator needs the id range to toggle).
+#[allow(dead_code)] // each test binary uses its own subset of the helpers
 pub fn small_mesh_link_count() -> u32 {
     let mut rng = SimRng::seed_from(1);
     let topo = bdps::overlay::topology::Topology::layered_mesh(
@@ -24,6 +41,7 @@ pub fn small_mesh_link_count() -> u32 {
 /// links dead at the horizon. This is the adversarial case the random
 /// scenario processes do not reach; both oracle suites run the *same*
 /// storm so a generator change can never weaken one of them silently.
+#[allow(dead_code)] // each test binary uses its own subset of the helpers
 pub fn flap_storm(seed: u64, links: u32, horizon_secs: u64) -> DynamicScenario {
     let mut rng = SimRng::seed_from(seed ^ 0xF1A9_5708);
     let mut scenario = DynamicScenario::named("flap-storm");

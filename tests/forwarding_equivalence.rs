@@ -1,0 +1,217 @@
+//! Differential-oracle suite for aggregate-scoped forwarding.
+//!
+//! Under [`ForwardingMode::Aggregate`] the publisher's broker no longer
+//! walks the global match index at publish time: it consults only the
+//! per-edge covering summaries, stamps interior copies with sentinel
+//! aggregate scopes, and leaves subscriber expansion to the edge brokers.
+//! Covers admit false positives, so unlike the table-layout axis the two
+//! modes are **not** bit-identical — hop traffic, drop breakdowns and
+//! per-phase counters may legitimately differ. What must never differ is
+//! the *delivery set*: the exact set of `(message, subscriber)` pairs
+//! delivered, and with it the total earning. This suite holds aggregate
+//! forwarding to that claim across {scenario × scheduler × rebuild policy}
+//! seeds, with the exact mode (both layouts) as the oracle.
+//!
+//! The sweep runs on uncongested fixed-rate links so that no copy expires
+//! or is shed as unlikely in either mode — expiry under congestion is
+//! timing-dependent and would make pair-set equality vacuous rather than
+//! diagnostic. Congested behaviour is covered by the engine's conservation
+//! and duplicate audits, which run here on every outcome as well.
+
+use bdps::overlay::topology::{LayeredMeshConfig, Topology};
+use bdps::prelude::*;
+use bdps::sim::sched::EventQueueKind;
+use bdps::sim::try_run_sharded;
+
+mod common;
+use common::delivered_pairs;
+
+fn small_topology(seed: u64) -> Topology {
+    // 10 ms/KB -> a 50 KB message takes 500 ms per hop; nothing congests.
+    Topology::layered_mesh(
+        &LayeredMeshConfig::small(),
+        &mut SimRng::seed_from(seed),
+        |_| LinkQuality::new(FixedRate::new(10.0)),
+    )
+    .unwrap()
+}
+
+fn build(
+    scenario: &DynamicScenario,
+    forwarding: ForwardingMode,
+    layout: TableLayout,
+    policy: RebuildPolicy,
+    queue: EventQueueKind,
+    seed: u64,
+) -> Simulation {
+    let mut workload = WorkloadConfig::paper_ssd(8.0);
+    workload.duration = Duration::from_secs(300);
+    workload.arrivals = ArrivalKind::Deterministic;
+    Simulation::with_scenario(
+        small_topology(seed),
+        workload,
+        SchedulerConfig::paper(StrategyKind::MaxEbpc),
+        SimRng::seed_from(seed),
+        EstimationError::NONE,
+        scenario.clone(),
+    )
+    .with_table_layout(layout)
+    .with_rebuild_policy(policy)
+    .with_event_queue(queue)
+    .with_forwarding(forwarding)
+}
+
+fn audited(sim: Simulation) -> SimulationOutcome {
+    let outcome = sim.run();
+    outcome.check_conservation().unwrap();
+    outcome.check_no_duplicates().unwrap();
+    outcome
+}
+
+/// The tentpole oracle: for every {scenario × policy × scheduler × seed}
+/// point, aggregate forwarding over the sparse layout delivers exactly the
+/// `(message, subscriber)` pairs — and earns exactly the money — of exact
+/// forwarding over both layouts.
+#[test]
+fn aggregate_forwarding_preserves_delivery_set_and_earning() {
+    let registry = ScenarioRegistry::builtin();
+    let churn = registry.resolve("churn").expect("churn is builtin");
+    let scenarios = [
+        ("static", DynamicScenario::static_scenario()),
+        ("churn", churn),
+    ];
+    for (scenario_name, scenario) in &scenarios {
+        for policy in RebuildPolicy::ALL {
+            for queue in EventQueueKind::ALL {
+                for seed in 1..=4u64 {
+                    let exact = audited(build(
+                        scenario,
+                        ForwardingMode::Exact,
+                        TableLayout::Sparse,
+                        policy,
+                        queue,
+                        seed,
+                    ));
+                    let aggregate = audited(build(
+                        scenario,
+                        ForwardingMode::Aggregate,
+                        TableLayout::Sparse,
+                        policy,
+                        queue,
+                        seed,
+                    ));
+                    let dense = audited(build(
+                        scenario,
+                        ForwardingMode::Exact,
+                        TableLayout::Dense,
+                        policy,
+                        queue,
+                        seed,
+                    ));
+
+                    let pairs = delivered_pairs(&exact);
+                    let ctx = format!(
+                        "({scenario_name}, seed {seed}, {} policy, {} queue)",
+                        policy.name(),
+                        queue.name()
+                    );
+                    // Meaningful run: something delivered, nothing expired or
+                    // shed in the oracle — otherwise the equality is vacuous.
+                    assert!(!pairs.is_empty(), "oracle delivered nothing {ctx}");
+                    assert_eq!(exact.dropped_expired(), 0, "oracle congested {ctx}");
+                    assert_eq!(exact.dropped_unlikely(), 0, "oracle shed copies {ctx}");
+                    assert_eq!(exact.tracker.total_late(), 0, "oracle ran late {ctx}");
+
+                    assert_eq!(
+                        pairs,
+                        delivered_pairs(&aggregate),
+                        "aggregate forwarding changed the delivery set {ctx}"
+                    );
+                    assert_eq!(
+                        pairs,
+                        delivered_pairs(&dense),
+                        "dense oracle disagrees with the sparse oracle {ctx}"
+                    );
+                    assert_eq!(
+                        exact.tracker.total_earning(),
+                        aggregate.tracker.total_earning(),
+                        "aggregate forwarding changed the earning {ctx}"
+                    );
+                    assert_eq!(
+                        aggregate.tracker.total_late(),
+                        0,
+                        "aggregate ran late while the oracle did not {ctx}"
+                    );
+                    // Exact mode never records false-positive traffic.
+                    assert_eq!(exact.false_positive_forwards(), 0);
+                    assert_eq!(exact.false_positive_drops_at_edge(), 0);
+                    // Every false-positive forward ends as an edge drop, so
+                    // the forward count is bounded by the drop count.
+                    assert!(
+                        aggregate.false_positive_forwards()
+                            <= aggregate.false_positive_drops_at_edge(),
+                        "unaccounted false-positive traffic {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forwarding_mode_round_trips_through_names_and_config() {
+    for mode in ForwardingMode::ALL {
+        assert_eq!(ForwardingMode::from_name(mode.name()), Some(mode));
+    }
+    assert_eq!(
+        ForwardingMode::from_name("agg"),
+        Some(ForwardingMode::Aggregate)
+    );
+    assert!(ForwardingMode::from_name("bogus").is_none());
+
+    let config = Simulation::builder()
+        .forwarding(ForwardingMode::Aggregate)
+        .table_layout(TableLayout::Sparse)
+        .build_config();
+    assert_eq!(config.forwarding, ForwardingMode::Aggregate);
+    let rebuilt = SimulationBuilder::from_config(&config).build_config();
+    assert_eq!(rebuilt, config);
+    // The default stays exact (the oracle); configs predating the field
+    // deserialise to it via `#[serde(default)]`.
+    assert_eq!(
+        Simulation::builder().build_config().forwarding,
+        ForwardingMode::Exact
+    );
+}
+
+#[test]
+fn aggregate_forwarding_rejects_the_dense_layout() {
+    let sim = build(
+        &DynamicScenario::static_scenario(),
+        ForwardingMode::Aggregate,
+        TableLayout::Dense,
+        RebuildPolicy::Full,
+        EventQueueKind::Calendar,
+        1,
+    );
+    match sim.try_run() {
+        Err(SimError::AggregateForwardingNeedsSparseLayout) => {}
+        other => panic!("dense aggregate run must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggregate_forwarding_rejects_sharded_execution() {
+    let sim = build(
+        &DynamicScenario::static_scenario(),
+        ForwardingMode::Aggregate,
+        TableLayout::Sparse,
+        RebuildPolicy::Full,
+        EventQueueKind::Calendar,
+        1,
+    );
+    match try_run_sharded(sim, 2) {
+        Err(SimError::ShardedForwardingUnsupported) => {}
+        other => panic!("sharded aggregate run must be rejected, got {other:?}"),
+    }
+}

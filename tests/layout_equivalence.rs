@@ -24,7 +24,7 @@ use bdps::prelude::*;
 use bdps::sim::sched::EventQueueKind;
 
 mod common;
-use common::{flap_storm, small_mesh_link_count};
+use common::{delivered_pairs, flap_storm, small_mesh_link_count};
 
 fn report(
     scenario: &DynamicScenario,
@@ -184,6 +184,9 @@ fn sparse_runs_report_aggregate_counters() {
     };
     let dense = run(TableLayout::Dense);
     let sparse = run(TableLayout::Sparse);
+    // Bit-identical layouts also means bit-identical delivery sets — the
+    // same pair oracle the forwarding suite uses.
+    assert_eq!(delivered_pairs(&dense), delivered_pairs(&sparse));
     assert_eq!(dense.aggregate_entries, 0);
     assert_eq!(dense.expanded_at_edge(), 0);
     assert!(sparse.aggregate_entries > 0);
