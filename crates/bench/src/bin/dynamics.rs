@@ -13,10 +13,18 @@
 //! utilisation and the busiest links of the flash-crowd cell — the
 //! fig5-style view of which strategies survive a saturated mesh.
 //!
+//! With `--forwarding exact,aggregate` every strategy × scenario cell is
+//! additionally run under aggregate-scoped forwarding over the sparse
+//! layout, and an **on-time delivery** comparison table reports both
+//! modes' counts per cell — the QoS-fidelity view of the aggregation
+//! trade-off, now that aggregate entries carry QoS envelopes (interior
+//! copies are ranked and shed by their edge group's deadline/earning
+//! bounds instead of degrading to FIFO under saturation).
+//!
 //! Usage: `cargo run --release -p bdps-bench --bin dynamics [--full]
 //! [--seed N] [--rate R] [--strategies eb,pc,fifo,rl,ebpc]
 //! [--scenarios static,churn,flash-crowd,link-flap,blackout,chaos]
-//! [--link-model constant,fair-share]`.
+//! [--link-model constant,fair-share] [--forwarding exact,aggregate]`.
 
 use bdps_bench::{f1, run_cells, ArgParser, ExperimentOptions, COMMON_FLAGS_HELP};
 use bdps_core::config::StrategyKind;
@@ -31,6 +39,11 @@ struct DynamicsOptions {
     /// SSD-scenario publishing rate (msgs/min). The congestion sweeps
     /// raise this to push links into saturation.
     rate: f64,
+    /// Forwarding modes selected with `--forwarding`. When `aggregate` is
+    /// present, every strategy × scenario cell also runs under
+    /// aggregate-scoped forwarding (sparse layout) and the on-time
+    /// comparison section is printed.
+    forwardings: Vec<ForwardingMode>,
 }
 
 impl DynamicsOptions {
@@ -39,6 +52,7 @@ impl DynamicsOptions {
         let mut opts = DynamicsOptions {
             common: ExperimentOptions::default(),
             rate: 10.0,
+            forwardings: vec![ForwardingMode::Exact],
         };
         let result = (|| -> Result<(), String> {
             while let Some(flag) = parser.next_flag() {
@@ -52,9 +66,26 @@ impl DynamicsOptions {
                             return Err("--rate must be a positive rate".to_string());
                         }
                     }
+                    "--forwarding" => {
+                        opts.forwardings = parser
+                            .list_value(&flag)?
+                            .iter()
+                            .map(|name| {
+                                ForwardingMode::from_name(name).ok_or_else(|| {
+                                    format!(
+                                        "unknown forwarding mode {name:?}; known: exact, aggregate"
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if opts.forwardings.is_empty() {
+                            return Err("--forwarding needs at least one mode".to_string());
+                        }
+                    }
                     _ => {
                         return Err(format!(
-                            "unknown flag {flag:?}; known: {COMMON_FLAGS_HELP} | --rate <msgs/min>"
+                            "unknown flag {flag:?}; known: {COMMON_FLAGS_HELP} | --rate <msgs/min> \
+                             | --forwarding <exact,aggregate>"
                         ))
                     }
                 }
@@ -87,6 +118,8 @@ fn main() {
     let scenarios = opts.common.scenarios_or(&DEFAULT_SCENARIOS);
     let link_models = opts.common.link_models_or(&[LinkModelKind::Constant]);
 
+    let aggregate = opts.forwardings.contains(&ForwardingMode::Aggregate);
+
     let mut cells = Vec::new();
     for &model in &link_models {
         for scenario in &scenarios {
@@ -103,6 +136,32 @@ fn main() {
                     label: format!("{}@{}#{}", strategy.label(), scenario.name, model.name()),
                     config,
                 });
+                if aggregate {
+                    // The envelope-aware twin: same cell under
+                    // aggregate-scoped forwarding (which requires the
+                    // sparse layout). Table layouts are delivery-
+                    // equivalent, so its on-time count is directly
+                    // comparable to the exact cell above.
+                    let config = Simulation::builder()
+                        .ssd(opts.rate)
+                        .duration(Duration::from_secs(opts.common.duration_secs))
+                        .strategy(strategy.clone())
+                        .scenario(scenario.clone())
+                        .link_model(model)
+                        .table_layout(TableLayout::Sparse)
+                        .forwarding(ForwardingMode::Aggregate)
+                        .seed(opts.common.seed)
+                        .build_config();
+                    cells.push(SweepCell {
+                        label: format!(
+                            "{}@{}#{}!aggregate",
+                            strategy.label(),
+                            scenario.name,
+                            model.name()
+                        ),
+                        config,
+                    });
+                }
             }
         }
     }
@@ -139,6 +198,47 @@ fn main() {
                 f1(by_label[key.as_str()].earning_k())
             })
         );
+
+        // The QoS-fidelity view of aggregation: per-cell on-time counts
+        // under exact vs aggregate forwarding. Before aggregate entries
+        // carried QoS envelopes, the aggregate column collapsed toward
+        // FIFO under saturation; the ratio is the regime to watch.
+        if aggregate {
+            println!("## On-time deliveries by forwarding mode{suffix}\n");
+            let mut rows = Vec::new();
+            for scenario in &scenarios {
+                for s in &strategy_labels {
+                    let exact_key = format!("{s}@{}#{}", scenario.name, model.name());
+                    let agg_key = format!("{s}@{}#{}!aggregate", scenario.name, model.name());
+                    let (Some(exact), Some(agg)) = (
+                        by_label.get(exact_key.as_str()),
+                        by_label.get(agg_key.as_str()),
+                    ) else {
+                        continue;
+                    };
+                    rows.push(vec![
+                        scenario.name.clone(),
+                        s.to_string(),
+                        format!("{}", exact.on_time),
+                        format!("{}", agg.on_time),
+                        format!("{:.2}", agg.on_time as f64 / (exact.on_time.max(1)) as f64),
+                    ]);
+                }
+            }
+            println!(
+                "{}",
+                render_markdown_table(
+                    &[
+                        "scenario",
+                        "strategy",
+                        "exact on-time",
+                        "aggregate on-time",
+                        "aggregate/exact"
+                    ],
+                    &rows
+                )
+            );
+        }
     }
 
     // The congestion view: how hard the network layer itself was pushed.

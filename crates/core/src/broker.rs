@@ -20,8 +20,8 @@ use bdps_overlay::graph::OverlayGraph;
 use bdps_overlay::pathstats::PathStats;
 use bdps_overlay::routing::Routing;
 use bdps_overlay::sparse::{
-    aggregate_scope_dest, read_population, BrokerTable, PopulationHandle, ResolvedEntry,
-    TableLayout,
+    aggregate_scope_dest, read_population, BrokerTable, PopulationHandle, QosEnvelope,
+    ResolvedEntry, TableLayout,
 };
 use bdps_overlay::subtable::{RetargetOutcome, SubTableEntry};
 use bdps_types::id::{BrokerId, LinkId, SubscriberId, SubscriptionId};
@@ -362,10 +362,17 @@ impl BrokerState {
     /// re-matched against the head — so a cover's false positive forwards
     /// traffic but never delivers. A sentinel naming a *remote* destination
     /// is forwarded as-is: one pseudo-target per destination, grouped per
-    /// next hop, carrying the aggregate's path stats, `Price::ZERO` (edge
-    /// expansion earns; interior copies do not) and an unbounded
-    /// subscriber delay (interior brokers cannot know member deadlines, so
-    /// only the publisher bound can expire an aggregate copy in flight).
+    /// next hop, carrying the aggregate's path stats and the destination
+    /// group's **QoS envelope** sampled epoch-consistently
+    /// ([`EdgeGroup::envelope_at`](bdps_overlay::sparse::EdgeGroup::envelope_at)
+    /// at `publish_epoch`): the target's price is the envelope's earning sum
+    /// (the copy's earning upper bound — edge expansion still does the
+    /// actual earning) and its allowed delay is the envelope's minimum
+    /// member bound tightened by the publisher bound, so strategies rank
+    /// aggregate copies by real deadlines/earnings and expiry-based
+    /// shedding works in flight. A sentinel whose envelope is empty at the
+    /// publish epoch is dropped here: every current member joined after the
+    /// snapshot, so edge expansion could deliver to no one.
     ///
     /// `via_link` is true when the copy arrived over a link (false for the
     /// publisher hand-off) and attributes zero-match expansions to
@@ -433,11 +440,21 @@ impl BrokerState {
                     let Some(agg) = table.aggregate(dest) else {
                         continue; // group emptied or destination unreachable
                     };
+                    let envelope = pop
+                        .group(dest)
+                        .map(|g| g.envelope_at(publish_epoch))
+                        .unwrap_or(QosEnvelope::EMPTY);
+                    if envelope.is_empty() {
+                        continue; // no epoch-visible member: nothing to deliver
+                    }
                     remote.entry(agg.next_hop).or_default().push(MatchedTarget {
                         subscription: id,
                         subscriber: SubscriberId::new(dest.raw()),
-                        price: Price::ZERO,
-                        allowed_delay: effective_allowed_delay(&message, Duration::MAX),
+                        price: envelope.earning_sum,
+                        allowed_delay: effective_allowed_delay(
+                            &message,
+                            envelope.min_allowed_delay,
+                        ),
                         stats: agg.stats,
                     });
                 }
@@ -1025,7 +1042,13 @@ mod tests {
             targets[1].subscription,
             aggregate_scope_id(BrokerId::new(2))
         );
-        assert_eq!(targets[0].price, Price::ZERO);
+        // Interior targets are stamped from the destination group's QoS
+        // envelope: B1 holds only the best-effort S1 (unbounded, unit
+        // price); B2 holds S0 (10 s bound, price 3).
+        assert_eq!(targets[0].price, Price::unit());
+        assert_eq!(targets[0].allowed_delay, Duration::MAX);
+        assert_eq!(targets[1].price, Price::from_units(3));
+        assert_eq!(targets[1].allowed_delay, Duration::from_secs(10));
         assert_eq!(b0.counters.expanded_at_edge, 1);
         assert_eq!(b0.counters.false_positive_drops_at_edge, 0);
 

@@ -34,8 +34,16 @@ pub struct MatchedTarget {
 
 impl MatchedTarget {
     /// Remaining lifetime of the message with respect to this target at `now`:
-    /// `allowed_delay − hdl`, floored at zero.
+    /// `allowed_delay − hdl`, floored at zero. An unbounded target stays at
+    /// `Duration::MAX` for any elapsed time — subtracting from the sentinel
+    /// would silently yield a huge-but-finite bound, so callers mapping
+    /// `Duration::MAX` to infinity (e.g.
+    /// [`QueuedMessage::avg_remaining_lifetime_ms`]) would misread it as a
+    /// real deadline the moment any time has passed.
     pub fn remaining_lifetime(&self, message: &Message, now: SimTime) -> Duration {
+        if self.allowed_delay == Duration::MAX {
+            return Duration::MAX;
+        }
         self.allowed_delay.saturating_sub(message.elapsed(now))
     }
 

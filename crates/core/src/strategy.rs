@@ -24,6 +24,39 @@
 //! strategy family is open. User crates implement the trait on their own
 //! types and pass them to the simulation through a handle — see
 //! `examples/custom_strategy.rs` in the workspace root.
+//!
+//! # Aggregate copies and QoS envelopes
+//!
+//! Under aggregate-scoped forwarding an interior copy carries one
+//! pseudo-target per destination edge broker instead of one per
+//! subscription. That target is stamped from the destination group's
+//! [`QosEnvelope`](bdps_overlay::sparse::QosEnvelope): its `allowed_delay`
+//! is the envelope's **minimum member bound** (tightened by the publisher
+//! bound) and its `price` is the envelope's **earning sum**. Strategies
+//! need no aggregate-specific code — the stamped target flows through the
+//! same formulas — but the semantics per strategy are deliberate:
+//!
+//! * **EB** scores `success(min bound) · earning sum`. Because the success
+//!   probability is monotone in the allowed delay, this is a *lower bound*
+//!   on the exact-mode sum `Σ success(bound_i) · price_i` over the members
+//!   — an aggregate copy is never overvalued relative to exact copies.
+//! * **PC / EBPC** inherit the same bounds: the postponing cost uses the
+//!   min-bound success-probability drop times the earning sum, again a
+//!   conservative (never-overvaluing) stand-in for the per-member sum.
+//! * **RL** reads the min bound as the copy's remaining lifetime, so the
+//!   group's most demanding member drives urgency; a group of only
+//!   best-effort members stays at `Duration::MAX` → `-∞` priority, exactly
+//!   like an exact-mode best-effort copy.
+//! * **FIFO** ignores the envelope, as it ignores all QoS.
+//!
+//! Expiry-based shedding keys off the same stamped bound: once the min
+//! bound has passed, the copy can no longer be on time for the *tightest*
+//! member and the §5.4 purge may drop it — deliberately conservative, since
+//! looser members of the same group lose the (already late-for-someone)
+//! copy with it. Under congestion this is the mechanism that keeps
+//! aggregate mode from collapsing toward FIFO; on uncongested runs nothing
+//! sheds and the delivered pair set is untouched (held by
+//! `tests/forwarding_equivalence.rs`).
 
 use crate::config::SchedulerConfig;
 use crate::metrics;
@@ -544,6 +577,107 @@ mod tests {
                 assert_eq!(*s, strategy.priority(&c, i), "{}", strategy.label());
             }
         }
+    }
+
+    /// A copy whose single target mimics one built at an `enqueue_secs`
+    /// arrival with explicit bound/price — the shape of both sentinel-era
+    /// aggregate targets (`Duration::MAX`, `Price::ZERO`) and
+    /// envelope-stamped ones (min member bound, earning sum).
+    fn stamped(id: u64, allowed: Duration, price: Price) -> QueuedMessage {
+        QueuedMessage {
+            message: Arc::new(
+                Message::builder(MessageId::new(id), PublisherId::new(0))
+                    .publish_time(SimTime::ZERO)
+                    .size_kb(50.0)
+                    .build(),
+            ),
+            targets: vec![MatchedTarget {
+                subscription: SubscriptionId::new(0),
+                subscriber: SubscriberId::new(0),
+                price,
+                allowed_delay: allowed,
+                stats: PathStats::local().extend(Normal::new(60.0, 20.0)),
+            }],
+            enqueue_time: SimTime::ZERO,
+        }
+    }
+
+    /// Regression (sentinel-era arithmetic audit): a copy stamped with the
+    /// `Duration::MAX` / `Price::ZERO` sentinels must score without
+    /// overflow or NaN under every strategy even after time has elapsed.
+    /// Before the fix, `MatchedTarget::remaining_lifetime` subtracted the
+    /// elapsed time *from the sentinel*, producing a huge-but-finite value
+    /// that slipped past the `== Duration::MAX → ∞` mapping in
+    /// `avg_remaining_lifetime_ms` — RL and COMPOSITE then ranked unbounded
+    /// copies by a meaningless near-`u64::MAX` lifetime.
+    #[test]
+    fn sentinel_stamped_copy_scores_without_overflow() {
+        let c = ctx(); // now = 2 s, so every target has elapsed time
+        let copy = stamped(1, Duration::MAX, Price::ZERO);
+        assert_eq!(
+            copy.avg_remaining_lifetime_ms(c.now),
+            f64::INFINITY,
+            "an unbounded target's lifetime must stay infinite once time has passed"
+        );
+        let strategies: [StrategyHandle; 6] = [
+            StrategyHandle::new(Fifo),
+            StrategyHandle::new(RemainingLifetime),
+            StrategyHandle::new(MaxEb),
+            StrategyHandle::new(MaxPc),
+            StrategyHandle::new(MaxEbpc),
+            StrategyHandle::new(WeightedComposite::default()),
+        ];
+        for strategy in &strategies {
+            let score = strategy.priority(&c, &copy);
+            assert!(!score.is_nan(), "{} produced NaN", strategy.label());
+            // Scoring is deterministic: same copy, same score.
+            assert_eq!(score, strategy.priority(&c, &copy), "{}", strategy.label());
+        }
+        // RL maps the infinite lifetime to the lowest possible priority —
+        // never a huge finite number competing with real deadlines.
+        assert_eq!(RemainingLifetime.priority(&c, &copy), f64::NEG_INFINITY);
+        // COMPOSITE's urgency term cleanly vanishes; only the EB term stays.
+        let composite = WeightedComposite::new(0.5);
+        let eb = MaxEb.priority(&c, &copy);
+        assert_eq!(composite.priority(&c, &copy), 0.5 * eb);
+        // EB of a zero-price unbounded copy is exactly zero (probability 1,
+        // price 0) — not an overflowed artefact.
+        assert_eq!(eb, 0.0);
+        // Two sentinel copies tie on every strategy, so the queue's
+        // strictly-greater selection falls back to arrival order: the
+        // ordering is deterministic.
+        let twin = stamped(2, Duration::MAX, Price::ZERO);
+        for strategy in &strategies {
+            let mut scores = Vec::new();
+            strategy.score_all(&c, &[copy.clone(), twin.clone()], &mut scores);
+            assert_eq!(scores[0], scores[1], "{}", strategy.label());
+        }
+    }
+
+    /// Envelope-stamped aggregate copies rank by their real bounds: EB by
+    /// the earning sum, RL by the min member bound, and a copy whose
+    /// envelope deadline passed becomes sheddable.
+    #[test]
+    fn envelope_stamped_copies_rank_and_expire_by_envelope_bounds() {
+        let c = ctx(); // now = 2 s
+        let rich = stamped(1, Duration::from_secs(30), Price::from_units(5));
+        let poor = stamped(2, Duration::from_secs(30), Price::unit());
+        assert!(
+            MaxEb.priority(&c, &rich) > MaxEb.priority(&c, &poor),
+            "EB must prefer the larger earning sum at equal bounds"
+        );
+        let tight = stamped(3, Duration::from_secs(10), Price::unit());
+        let loose = stamped(4, Duration::from_secs(60), Price::unit());
+        assert!(
+            RemainingLifetime.priority(&c, &tight) > RemainingLifetime.priority(&c, &loose),
+            "RL must prefer the tighter envelope min bound"
+        );
+        // An envelope whose min bound already passed: expired, hence
+        // purgeable under ExpiredOnly detection — the shedding the sentinel
+        // era could never trigger for aggregate copies.
+        let dead = stamped(5, Duration::from_secs(1), Price::from_units(5));
+        assert!(dead.targets[0].is_expired(&dead.message, c.now));
+        assert!(dead.fully_expired(c.now));
     }
 
     #[test]

@@ -54,6 +54,36 @@ fn churn_model() -> McModel {
     model
 }
 
+/// A leave timed *strictly between* a publication instant and the earliest
+/// possible edge expansion of its copies: publications fire at t = 5 s,
+/// links move 50 KB at 20 ms/KB = 1 s per hop, so no first-wave copy can
+/// reach an edge broker before t = 6 s — and subscription 1 leaves at
+/// t = 5.2 s with every copy still in flight. Subscription 2 shares edge B1
+/// with the leaver, so the group survives and its QoS envelope must
+/// *change* (the earning sum always shrinks when a member leaves, the min
+/// bound may widen). The engine's per-event table audit recomputes every
+/// aggregate's envelope from the current member records, so a
+/// `sync_aggregate` that lagged the member removal by even one event —
+/// leaving a stale envelope while the member list already shrank — fails
+/// the exploration at the leave event itself, in every interleaving.
+fn leave_before_expansion_model() -> McModel {
+    let mut model = McModel::named(
+        "forwarding-leave-preexpansion-line3",
+        ModelTopology::Line(3),
+    );
+    model.publishers = vec![0, 2];
+    model.subscribers = vec![0, 1, 1, 2];
+    model.publications_per_publisher = 2;
+    model.publish_gap = Duration::from_secs(5);
+    model.events = vec![(
+        Duration::from_millis(5_200),
+        ScenarioAction::SubscriptionLeave {
+            subscription: SubscriptionId::new(1),
+        },
+    )];
+    model
+}
+
 /// Explores `model` under every sparse-layout cell and asserts that, for
 /// each {scheduler × policy} point, aggregate forwarding reaches exactly
 /// the same set of terminal delivery sets as exact forwarding.
@@ -114,4 +144,9 @@ fn aggregate_forwarding_preserves_the_delivery_set_in_every_interleaving() {
 #[test]
 fn aggregate_forwarding_preserves_the_delivery_set_under_churn() {
     assert_delivery_sets_match(&churn_model());
+}
+
+#[test]
+fn envelope_tracks_member_list_through_a_midflight_leave() {
+    assert_delivery_sets_match(&leave_before_expansion_model());
 }

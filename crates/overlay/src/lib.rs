@@ -38,8 +38,8 @@ pub use graph::{BrokerNode, OverlayGraph};
 pub use pathstats::PathStats;
 pub use routing::{RouteDelta, RouteEntry, Routing};
 pub use sparse::{
-    AggregateEntry, BrokerTable, PopulationHandle, ResolvedEntry, SharedPopulation, SparseTable,
-    TableLayout,
+    AggregateEntry, BrokerTable, PopulationHandle, QosEnvelope, ResolvedEntry, SharedPopulation,
+    SparseTable, TableLayout,
 };
 pub use subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
 pub use topology::{LayeredMeshConfig, Topology};
@@ -50,7 +50,8 @@ pub mod prelude {
     pub use crate::pathstats::PathStats;
     pub use crate::routing::{RouteDelta, RouteEntry, Routing};
     pub use crate::sparse::{
-        BrokerTable, PopulationHandle, ResolvedEntry, SharedPopulation, SparseTable, TableLayout,
+        BrokerTable, PopulationHandle, QosEnvelope, ResolvedEntry, SharedPopulation, SparseTable,
+        TableLayout,
     };
     pub use crate::subtable::{RetargetOutcome, SubTableEntry, SubscriptionTable};
     pub use crate::topology::{LayeredMeshConfig, Topology};

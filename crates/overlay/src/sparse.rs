@@ -131,6 +131,70 @@ pub fn aggregate_scope_dest(id: SubscriptionId) -> Option<BrokerId> {
     (id.raw() & AGGREGATE_SCOPE_BIT != 0).then(|| BrokerId::new(id.raw() & !AGGREGATE_SCOPE_BIT))
 }
 
+/// The QoS bounds an edge group's members collectively promise — the
+/// metadata an interior [`AggregateEntry`] carries so scheduling strategies
+/// can rank and shed aggregate copies without enumerating the members
+/// (ROADMAP item 2(a)). Folded over the group's *epoch-visible* members:
+///
+/// * `min_allowed_delay` — the tightest subscriber-specified bound in the
+///   group (`Duration::MAX` while every member is best-effort). A copy
+///   older than this bound can no longer be on time for the most demanding
+///   member; expiry-based shedding keys off it.
+/// * `earning_sum` — the total price the group pays if the copy reaches
+///   every member on time: the upper bound on what the copy can earn, and
+///   the value EB/PC/EBPC score it by.
+/// * `earning_max` — the single largest member price, for audits and for
+///   strategies that want a per-member rather than per-group bound.
+/// * `members` — how many members the fold covered (0 = empty envelope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosEnvelope {
+    /// Minimum subscriber-specified allowed delay over the members.
+    pub min_allowed_delay: Duration,
+    /// Sum of member prices (saturating).
+    pub earning_sum: Price,
+    /// Maximum single member price.
+    pub earning_max: Price,
+    /// Number of members folded in.
+    pub members: usize,
+}
+
+impl QosEnvelope {
+    /// The envelope of an empty group: unbounded delay, zero earning.
+    pub const EMPTY: QosEnvelope = QosEnvelope {
+        min_allowed_delay: Duration::MAX,
+        earning_sum: Price::ZERO,
+        earning_max: Price::ZERO,
+        members: 0,
+    };
+
+    /// Folds one member's QoS into the envelope.
+    pub fn fold(self, allowed_delay: Duration, price: Price) -> QosEnvelope {
+        QosEnvelope {
+            min_allowed_delay: self.min_allowed_delay.min(allowed_delay),
+            earning_sum: self.earning_sum.saturating_add(price),
+            earning_max: self.earning_max.max(price),
+            members: self.members + 1,
+        }
+    }
+
+    /// Returns true when no member was folded in (the [`EMPTY`](Self::EMPTY)
+    /// value) — an aggregate copy toward such a group can deliver nothing.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+}
+
+/// One member's QoS contribution, kept in join-epoch order so the envelope
+/// of any epoch prefix can be answered without re-folding (see
+/// [`EdgeGroup::envelope_at`]).
+#[derive(Debug, Clone, Copy)]
+struct MemberQos {
+    id: SubscriptionId,
+    join_epoch: u64,
+    allowed_delay: Duration,
+    price: Price,
+}
+
 /// The subscriptions attached at one edge broker, with their covering set.
 #[derive(Debug, Clone, Default)]
 pub struct EdgeGroup {
@@ -147,6 +211,13 @@ pub struct EdgeGroup {
     /// recomputed from the forest on every membership change, excluded from
     /// digests.
     summary: Vec<Filter>,
+    /// Member QoS in ascending `join_epoch` order (epochs are minted
+    /// monotonically, so inserts append; a removal rebuilds the prefix).
+    qos: Vec<MemberQos>,
+    /// `qos_prefix[k]` is the envelope folded over `qos[..=k]` — the
+    /// envelope of the group as of `qos[k].join_epoch`. Derived state,
+    /// rebuilt on removal, extended O(1) on insert.
+    qos_prefix: Vec<QosEnvelope>,
 }
 
 impl EdgeGroup {
@@ -181,6 +252,60 @@ impl EdgeGroup {
     /// false positives are possible and bounded by the looseness gate.
     pub fn summary_matches(&self, head: &MessageHead) -> bool {
         self.summary.iter().any(|f| f.matches(head))
+    }
+
+    /// The QoS envelope over the group's **current** members.
+    pub fn envelope(&self) -> QosEnvelope {
+        self.qos_prefix
+            .last()
+            .copied()
+            .unwrap_or(QosEnvelope::EMPTY)
+    }
+
+    /// The QoS envelope over the current members whose `join_epoch` does not
+    /// exceed `epoch` — the fold a publication frozen at that epoch may
+    /// legitimately see. Members that joined later are invisible (exact-mode
+    /// scope-freeze semantics); members that left are already gone from
+    /// `qos`, so the answer is always over *current* epoch-visible members.
+    /// `O(log members)`: a binary search into the prefix-fold vector.
+    pub fn envelope_at(&self, epoch: u64) -> QosEnvelope {
+        let n = self.qos.partition_point(|m| m.join_epoch <= epoch);
+        if n == 0 {
+            QosEnvelope::EMPTY
+        } else {
+            self.qos_prefix[n - 1]
+        }
+    }
+
+    /// Appends one member's QoS (caller guarantees `join_epoch` exceeds
+    /// every recorded one — registry epochs are minted monotonically).
+    fn push_qos(&mut self, member: MemberQos) {
+        debug_assert!(self
+            .qos
+            .last()
+            .is_none_or(|last| last.join_epoch < member.join_epoch));
+        let next = self.envelope().fold(member.allowed_delay, member.price);
+        self.qos.push(member);
+        self.qos_prefix.push(next);
+    }
+
+    /// Drops one member's QoS contribution and re-derives the prefix folds,
+    /// so the envelope shrinks in the same instant the member list does.
+    fn remove_qos(&mut self, id: SubscriptionId) {
+        if let Some(pos) = self.qos.iter().position(|m| m.id == id) {
+            self.qos.remove(pos);
+            self.rebuild_qos_prefix();
+        }
+    }
+
+    /// Recomputes `qos_prefix` from `qos` (O(members)).
+    fn rebuild_qos_prefix(&mut self) {
+        self.qos_prefix.clear();
+        let mut acc = QosEnvelope::EMPTY;
+        for m in &self.qos {
+            acc = acc.fold(m.allowed_delay, m.price);
+            self.qos_prefix.push(acc);
+        }
     }
 
     /// Recomputes the summary from the forest roots: greedy first-fit over
@@ -281,6 +406,12 @@ impl SharedPopulation {
         group.ids.insert(pos, id);
         group.forest.insert(id, subscription.filter.clone());
         group.rebuild_summary(&self.selectivity, self.cover_looseness);
+        group.push_qos(MemberQos {
+            id,
+            join_epoch: self.epoch,
+            allowed_delay: subscription.allowed_delay(),
+            price: subscription.price,
+        });
         self.members.insert(
             id,
             MemberRecord {
@@ -299,6 +430,7 @@ impl SharedPopulation {
                 group.ids.remove(pos);
             }
             group.forest.remove(id);
+            group.remove_qos(id);
             if group.is_empty() {
                 self.by_edge.remove(&record.edge);
             } else {
@@ -349,6 +481,30 @@ impl SharedPopulation {
         self.by_edge.get(&edge)
     }
 
+    /// Folds the QoS envelope of the members attached at `edge` whose
+    /// `join_epoch` does not exceed `epoch`, directly from the member
+    /// records in ascending id order — deliberately **not** via the group's
+    /// prefix-fold machinery, so audits comparing it against
+    /// [`EdgeGroup::envelope_at`] exercise an independent derivation.
+    /// Commutative folds (min / saturating sum / max) make the different
+    /// iteration orders agree exactly.
+    pub fn scratch_envelope(&self, edge: BrokerId, epoch: u64) -> QosEnvelope {
+        let Some(group) = self.by_edge.get(&edge) else {
+            return QosEnvelope::EMPTY;
+        };
+        let mut acc = QosEnvelope::EMPTY;
+        for &id in &group.ids {
+            let record = &self.members[&id];
+            if record.join_epoch <= epoch {
+                acc = acc.fold(
+                    record.subscription.allowed_delay(),
+                    record.subscription.price,
+                );
+            }
+        }
+        acc
+    }
+
     /// Iterates `(edge broker, group)` in ascending broker order.
     pub fn groups(&self) -> impl Iterator<Item = (BrokerId, &EdgeGroup)> + '_ {
         self.by_edge.iter().map(|(b, g)| (*b, g))
@@ -393,6 +549,8 @@ impl SharedPopulation {
             .map(|g| {
                 g.ids.len() * std::mem::size_of::<SubscriptionId>()
                     + g.forest.len() * FOREST_NODE_OVERHEAD
+                    + g.qos.len() * std::mem::size_of::<MemberQos>()
+                    + g.qos_prefix.len() * std::mem::size_of::<QosEnvelope>()
             })
             .sum();
         (member_bytes + group_bytes) as u64
@@ -455,6 +613,13 @@ pub struct AggregateEntry {
     pub members: usize,
     /// Size of the destination's covering set (observability only).
     pub cover_roots: usize,
+    /// The QoS bounds the destination's current members collectively
+    /// promise (min allowed delay, earning sum/max, member count), kept in
+    /// lock-step with the member list by the same rebuild/sync paths that
+    /// maintain the routed fields. Publish stamps interior copies from
+    /// [`EdgeGroup::envelope_at`] (the epoch-consistent fold), not from this
+    /// field; this copy powers audits and observability.
+    pub envelope: QosEnvelope,
 }
 
 impl AggregateEntry {
@@ -462,13 +627,19 @@ impl AggregateEntry {
     /// and member group — the single construction path the bulk build, the
     /// full rebuild and the incremental sync all share, so an aggregate can
     /// never differ by how it was produced.
-    fn fresh(route: &crate::routing::RouteEntry, members: usize, cover_roots: usize) -> Self {
+    fn fresh(
+        route: &crate::routing::RouteEntry,
+        members: usize,
+        cover_roots: usize,
+        envelope: QosEnvelope,
+    ) -> Self {
         AggregateEntry {
             next_hop: route.next_hop,
             next_link: route.next_link,
             stats: route.stats,
             members,
             cover_roots,
+            envelope,
         }
     }
 }
@@ -615,6 +786,10 @@ impl SparseTable {
             h.write_u64(a.stats.rate.variance().to_bits());
             h.write_usize(a.members);
             h.write_usize(a.cover_roots);
+            h.write_u64(a.envelope.min_allowed_delay.as_micros());
+            h.write_i64(a.envelope.earning_sum.millis());
+            h.write_i64(a.envelope.earning_max.millis());
+            h.write_usize(a.envelope.members);
         }
     }
 
@@ -650,11 +825,12 @@ impl SparseTable {
         }
         let group_sizes = {
             let pop = read_population(&self.population);
-            pop.group(dest).map(|g| (g.len(), g.forest().root_count()))
+            pop.group(dest)
+                .map(|g| (g.len(), g.forest().root_count(), g.envelope()))
         };
         match (group_sizes, routing.route(self.broker, dest)) {
-            (Some((members, cover_roots)), Some(route)) => {
-                let fresh = AggregateEntry::fresh(route, members, cover_roots);
+            (Some((members, cover_roots, envelope)), Some(route)) => {
+                let fresh = AggregateEntry::fresh(route, members, cover_roots, envelope);
                 match self.aggregates.insert(dest, fresh) {
                     Some(old) if old == fresh => {} // no-op patch
                     Some(_) => outcome.retargeted += 1,
@@ -683,7 +859,12 @@ impl SparseTable {
             if let Some(route) = routing.route(self.broker, dest) {
                 self.aggregates.insert(
                     dest,
-                    AggregateEntry::fresh(route, group.len(), group.forest().root_count()),
+                    AggregateEntry::fresh(
+                        route,
+                        group.len(),
+                        group.forest().root_count(),
+                        group.envelope(),
+                    ),
                 );
             }
         }
@@ -1204,6 +1385,116 @@ mod tests {
             BrokerId::new(1),
         );
         assert_eq!(pop.member(SubscriptionId::new(0)).unwrap().join_epoch, 3);
+    }
+
+    fn qos_sub(id: u32, edge_secs: u64, price_units: i64) -> Subscription {
+        Subscription::with_qos(
+            SubscriptionId::new(id),
+            SubscriberId::new(id),
+            Filter::match_all(),
+            QosClass::new(
+                DelayBound::from_secs(edge_secs),
+                Price::from_units(price_units),
+            ),
+        )
+    }
+
+    #[test]
+    fn envelope_folds_members_and_answers_any_epoch_prefix() {
+        let mut pop = SharedPopulation::new();
+        let edge = BrokerId::new(1);
+        pop.insert(qos_sub(0, 30, 1), edge); // epoch 1
+        pop.insert(qos_sub(1, 10, 3), edge); // epoch 2
+        pop.insert(
+            Subscription::best_effort(
+                SubscriptionId::new(2),
+                SubscriberId::new(2),
+                Filter::match_all(),
+            ),
+            edge,
+        ); // epoch 3, unbounded, unit price
+        let group = pop.group(edge).unwrap();
+        let now = group.envelope();
+        assert_eq!(now.min_allowed_delay, Duration::from_secs(10));
+        assert_eq!(now.earning_sum, Price::from_units(5));
+        assert_eq!(now.earning_max, Price::from_units(3));
+        assert_eq!(now.members, 3);
+        // Every epoch prefix agrees with the independent scratch fold.
+        for epoch in 0..=pop.epoch() {
+            assert_eq!(
+                pop.group(edge).unwrap().envelope_at(epoch),
+                pop.scratch_envelope(edge, epoch),
+                "prefix fold drifted from scratch fold at epoch {epoch}"
+            );
+        }
+        assert_eq!(pop.group(edge).unwrap().envelope_at(0), QosEnvelope::EMPTY);
+        assert_eq!(
+            pop.group(edge).unwrap().envelope_at(1).earning_sum,
+            Price::from_units(1)
+        );
+    }
+
+    #[test]
+    fn envelope_shrinks_the_same_instant_a_member_leaves() {
+        let mut pop = SharedPopulation::new();
+        let edge = BrokerId::new(1);
+        pop.insert(qos_sub(0, 10, 3), edge);
+        pop.insert(qos_sub(1, 30, 1), edge);
+        let snapshot = pop.epoch();
+        // The tight, expensive member leaves: the envelope over *any* epoch
+        // — including ones sampled before the leave — immediately stops
+        // counting it. No one-event lag between member list and envelope.
+        pop.remove(SubscriptionId::new(0));
+        let group = pop.group(edge).unwrap();
+        let after = group.envelope_at(snapshot);
+        assert_eq!(after.min_allowed_delay, Duration::from_secs(30));
+        assert_eq!(after.earning_sum, Price::from_units(1));
+        assert_eq!(after.members, 1);
+        assert_eq!(after, pop.scratch_envelope(edge, snapshot));
+    }
+
+    #[test]
+    fn envelope_ignores_rejoin_for_old_epochs() {
+        let mut pop = SharedPopulation::new();
+        let edge = BrokerId::new(1);
+        pop.insert(qos_sub(0, 10, 3), edge);
+        pop.insert(qos_sub(1, 30, 1), edge);
+        let snapshot = pop.epoch();
+        pop.remove(SubscriptionId::new(0));
+        pop.insert(qos_sub(0, 10, 3), edge); // rejoin under a fresh epoch
+        let group = pop.group(edge).unwrap();
+        // A publication frozen at `snapshot` must not see the rejoined
+        // member: its new join_epoch exceeds the snapshot.
+        let old = group.envelope_at(snapshot);
+        assert_eq!(old.members, 1);
+        assert_eq!(old.min_allowed_delay, Duration::from_secs(30));
+        // The current envelope counts both again.
+        assert_eq!(group.envelope().members, 2);
+        assert_eq!(group.envelope().min_allowed_delay, Duration::from_secs(10));
+        assert_eq!(old, pop.scratch_envelope(edge, snapshot));
+    }
+
+    #[test]
+    fn sync_aggregate_tracks_envelope_changes() {
+        let (_topo, routing, subs) = line_setup();
+        let pop = handle(&subs);
+        let mut table = SparseTable::build(BrokerId::new(0), &routing, &pop);
+        let before = table.aggregate(BrokerId::new(2)).unwrap().envelope;
+        assert_eq!(before.min_allowed_delay, Duration::from_secs(10));
+        assert_eq!(before.earning_sum, Price::from_units(3));
+        assert_eq!(before.members, 1);
+        // A looser member joins at B2: same route, changed envelope — the
+        // sync must patch the aggregate (counted as a retarget).
+        pop.write()
+            .unwrap()
+            .insert(qos_sub(7, 60, 2), BrokerId::new(2));
+        let outcome = table.sync_aggregate(&routing, BrokerId::new(2));
+        assert_eq!(outcome.retargeted, 1);
+        let after = table.aggregate(BrokerId::new(2)).unwrap().envelope;
+        assert_eq!(after.min_allowed_delay, Duration::from_secs(10));
+        assert_eq!(after.earning_sum, Price::from_units(5));
+        assert_eq!(after.earning_max, Price::from_units(3));
+        assert_eq!(after.members, 2);
     }
 
     #[test]

@@ -37,6 +37,19 @@ impl Price {
         Price(units * MILLIS_PER_UNIT)
     }
 
+    /// Creates a price from a raw milli-unit count (the inverse of
+    /// [`Price::millis`]), used when folding stored prices back into an
+    /// aggregate envelope.
+    pub const fn from_millis(millis: i64) -> Self {
+        Price(millis)
+    }
+
+    /// Adds two prices, saturating at `i64::MAX` milli-units — envelope
+    /// earning sums over large edge groups must never wrap.
+    pub const fn saturating_add(self, rhs: Price) -> Price {
+        Price(self.0.saturating_add(rhs.0))
+    }
+
     /// Creates a price from fractional units, rounding to the nearest milli-unit.
     /// Negative or non-finite input saturates to zero.
     pub fn from_units_f64(units: f64) -> Self {
@@ -172,6 +185,17 @@ mod tests {
             e.credit(Price::from_units_f64(0.1));
         }
         assert_eq!(e.as_f64(), 100.0);
+    }
+
+    #[test]
+    fn price_millis_round_trip_and_saturating_sum() {
+        assert_eq!(Price::from_millis(2_500), Price::from_units_f64(2.5));
+        assert_eq!(
+            Price::from_units(3).saturating_add(Price::from_units(2)),
+            Price::from_units(5)
+        );
+        let huge = Price::from_millis(i64::MAX);
+        assert_eq!(huge.saturating_add(Price::unit()), huge);
     }
 
     #[test]
